@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the κ-stereographic primitives that
+//! dominate both training (autodiff composites) and serving (MNN distance
+//! computations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use amcad_manifold::{
+    distance, exp_map_origin, log_map_origin, mobius_add, ProductManifold, SubspaceSpec,
+};
+
+fn bench_manifold(c: &mut Criterion) {
+    let dim = 32;
+    let x: Vec<f64> = (0..dim).map(|i| 0.01 * (i as f64 % 7.0) - 0.03).collect();
+    let y: Vec<f64> = (0..dim).map(|i| 0.02 * (i as f64 % 5.0) - 0.04).collect();
+
+    let mut group = c.benchmark_group("manifold");
+    for &kappa in &[-1.0, 0.0, 1.0] {
+        group.bench_function(format!("mobius_add/kappa={kappa}"), |b| {
+            b.iter(|| mobius_add(black_box(&x), black_box(&y), black_box(kappa)))
+        });
+        group.bench_function(format!("distance/kappa={kappa}"), |b| {
+            b.iter(|| distance(black_box(&x), black_box(&y), black_box(kappa)))
+        });
+        group.bench_function(format!("exp_log_roundtrip/kappa={kappa}"), |b| {
+            b.iter(|| {
+                let p = exp_map_origin(black_box(&x), kappa);
+                log_map_origin(&p, kappa)
+            })
+        });
+    }
+    group.finish();
+
+    let manifold = ProductManifold::new(vec![
+        SubspaceSpec::new(16, -1.0),
+        SubspaceSpec::new(16, 1.0),
+    ]);
+    let px = manifold.exp0(&x);
+    let py = manifold.exp0(&y);
+    let weights = [0.6, 0.4];
+    c.bench_function("product_manifold/weighted_distance_32d", |b| {
+        b.iter(|| manifold.weighted_distance(black_box(&px), black_box(&py), black_box(&weights)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_manifold
+}
+criterion_main!(benches);

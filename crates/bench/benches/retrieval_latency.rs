@@ -1,0 +1,44 @@
+//! Criterion benchmark of single-request two-layer retrieval latency — the
+//! per-request cost underlying the Fig. 9 serving curve.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use amcad_core::{Pipeline, PipelineConfig};
+
+fn bench_retrieval(c: &mut Criterion) {
+    let result = Pipeline::new(PipelineConfig::small(99)).run();
+    let session = result
+        .dataset
+        .eval_sessions
+        .iter()
+        .find(|s| !s.clicks.is_empty())
+        .expect("at least one evaluation session")
+        .clone();
+    let preclicks: Vec<u32> = result
+        .dataset
+        .preclick_items(&session)
+        .iter()
+        .map(|n| n.0)
+        .collect();
+    let query = session.query.0;
+
+    c.bench_function("retrieval/two_layer_single_request", |b| {
+        b.iter(|| {
+            black_box(
+                result
+                    .retriever
+                    .retrieve(black_box(query), black_box(&preclicks)),
+            )
+        })
+    });
+    c.bench_function("retrieval/single_layer_single_request", |b| {
+        b.iter(|| black_box(result.retriever.retrieve_single_layer(black_box(query))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_retrieval
+}
+criterion_main!(benches);

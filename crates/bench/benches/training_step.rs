@@ -1,0 +1,58 @@
+//! Criterion benchmark of one AMCAD training step (tape construction,
+//! forward pass, backward pass and AdaGrad update) and of the underlying
+//! autodiff distance composite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use amcad_autodiff::manifold_ops as mops;
+use amcad_autodiff::Tape;
+use amcad_datagen::{Dataset, WorldConfig};
+use amcad_graph::{MetaPathSampler, SamplerConfig};
+use amcad_model::{AmcadConfig, AmcadModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_training(c: &mut Criterion) {
+    let dataset = Dataset::generate(&WorldConfig::tiny(77));
+    let sampler = MetaPathSampler::new(&dataset.graph, SamplerConfig::default());
+    let mut rng = StdRng::seed_from_u64(77);
+    let batch = sampler.sample_batch(8, &mut rng);
+
+    c.bench_function("train_step/amcad_batch8", |b| {
+        let mut model = AmcadModel::new(AmcadConfig::test_tiny(77), &dataset.graph);
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            black_box(model.train_step(&dataset.graph, &batch, step))
+        })
+    });
+
+    c.bench_function("train_step/euclidean_batch8", |b| {
+        let mut model = AmcadModel::new(AmcadConfig::euclidean(4, 77), &dataset.graph);
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            black_box(model.train_step(&dataset.graph, &batch, step))
+        })
+    });
+
+    c.bench_function("autodiff/geodesic_distance_backward_16d", |b| {
+        let xs: Vec<f64> = (0..16).map(|i| 0.01 * i as f64).collect();
+        let ys: Vec<f64> = (0..16).map(|i| -0.008 * i as f64).collect();
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.row(xs.clone());
+            let y = tape.row(ys.clone());
+            let k = tape.scalar(-0.7);
+            let d = mops::distance(&mut tape, x, y, k);
+            black_box(tape.backward(d))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

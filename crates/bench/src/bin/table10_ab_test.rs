@@ -1,0 +1,101 @@
+//! Table X — simulated online A/B test: AMCAD versus the Euclidean channel.
+//!
+//! The paper replaces one production retrieval channel (the Euclidean model,
+//! AMCAD_E) with AMCAD on 4% of Taobao traffic for 7 days and reports CTR
+//! and RPM lifts per result page (+0.5% CTR and +1.1% RPM overall, with the
+//! largest lift on page 1 and decreasing lift on later pages).
+//!
+//! This binary trains both models on the same synthetic graph, builds a
+//! two-layer retriever for each, serves every next-day session through both
+//! channels, and pushes the served ad lists through the position-aware click
+//! / revenue simulator.
+
+use amcad_bench::Scale;
+use amcad_core::{build_index_inputs, evaluate_offline, run_ab_test};
+use amcad_datagen::Dataset;
+use amcad_eval::{relative_lift, ClickModelConfig, TextTable};
+use amcad_model::{AmcadConfig, AmcadModel, Trainer};
+use amcad_retrieval::{IndexBuildConfig, IndexSet, RetrievalConfig, TwoLayerRetriever};
+
+fn build_channel(cfg: AmcadConfig, dataset: &Dataset, scale: Scale, seed: u64) -> TwoLayerRetriever {
+    let mut model = AmcadModel::new(cfg, &dataset.graph);
+    Trainer::new(scale.trainer(seed)).run(&mut model, &dataset.graph);
+    let export = model.export(&dataset.graph, seed);
+    let metrics = evaluate_offline(&export, dataset, &scale.eval(seed));
+    eprintln!(
+        "channel {} trained: Next AUC {:.3}",
+        export.name, metrics.next_auc
+    );
+    let inputs = build_index_inputs(&export, dataset);
+    let indexes = IndexSet::build(&inputs, IndexBuildConfig { top_k: 20, threads: 4 });
+    TwoLayerRetriever::new(indexes, RetrievalConfig::default())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 20230101;
+    println!("== Table X: simulated online A/B test (scale = {}) ==\n", scale.label());
+
+    let dataset = Dataset::generate(&scale.world(seed));
+    let fd = scale.feature_dim();
+    let control = build_channel(AmcadConfig::euclidean(fd, seed), &dataset, scale, seed);
+    let treatment = build_channel(AmcadConfig::amcad(fd, seed), &dataset, scale, seed);
+
+    let outcome = run_ab_test(
+        &dataset,
+        &control,
+        &treatment,
+        ClickModelConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+
+    let pages = outcome.control.num_pages();
+    let mut ctr_row = vec!["CTR lift".to_string()];
+    let mut rpm_row = vec!["RPM lift".to_string()];
+    let mut header = vec!["Metric".to_string()];
+    for p in 0..pages {
+        header.push(if p + 1 == pages {
+            format!("page {}+", p + 1)
+        } else {
+            format!("page {}", p + 1)
+        });
+        ctr_row.push(format!(
+            "{:+.1}%",
+            relative_lift(outcome.control.ctr(p), outcome.treatment.ctr(p))
+        ));
+        rpm_row.push(format!(
+            "{:+.1}%",
+            relative_lift(outcome.control.rpm(p), outcome.treatment.rpm(p))
+        ));
+    }
+    header.push("Overall".into());
+    ctr_row.push(format!(
+        "{:+.1}%",
+        relative_lift(outcome.control.overall_ctr(), outcome.treatment.overall_ctr())
+    ));
+    rpm_row.push(format!(
+        "{:+.1}%",
+        relative_lift(outcome.control.overall_rpm(), outcome.treatment.overall_rpm())
+    ));
+    let mut table = TextTable::new(header);
+    table.row(ctr_row);
+    table.row(rpm_row);
+
+    println!("requests simulated: {}", outcome.requests);
+    println!(
+        "control  (AMCAD_E): overall CTR {:.2}%, RPM {:.2}",
+        outcome.control.overall_ctr(),
+        outcome.control.overall_rpm()
+    );
+    println!(
+        "treatment (AMCAD) : overall CTR {:.2}%, RPM {:.2}\n",
+        outcome.treatment.overall_ctr(),
+        outcome.treatment.overall_rpm()
+    );
+    println!("{}", table.render());
+    println!("Paper (Table X): +0.5% CTR and +1.1% RPM overall, largest lift on page 1, shrinking with");
+    println!("page depth.  Shape to check: the AMCAD channel's CTR/RPM lift is positive overall and the");
+    println!("gain is concentrated on early pages.");
+}

@@ -1,0 +1,78 @@
+//! Table IX — offline training runtime versus graph size.
+//!
+//! The paper trains on log windows of 1 hour / 1 day / 3 days / 7 days and
+//! reports node count, edge count, iteration count and total runtime,
+//! observing near-linear scaling of runtime with the number of edges.  This
+//! binary runs the same ladder at laptop scale; the number of training
+//! iterations is proportional to the number of sessions (≈ one pass over
+//! the data), so runtime should grow roughly linearly with graph size.
+
+use std::time::Instant;
+
+use amcad_bench::Scale;
+use amcad_datagen::{Dataset, WorldConfig};
+use amcad_eval::TextTable;
+use amcad_model::{AmcadConfig, AmcadModel, Trainer, TrainerConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 20221111;
+    println!("== Table IX: training runtime vs graph size (scale = {}) ==\n", scale.label());
+
+    // Scale the ladder down further for the tiny preset so the whole sweep
+    // stays fast; the *ratios* between rungs are what matters.
+    let base = scale.world(seed);
+    let ladder: Vec<(&str, WorldConfig)> = vec![
+        ("1 hour", base.scaled(1.0 / 8.0)),
+        ("1 day", base.clone()),
+        ("3 days", base.scaled(2.0)),
+        ("7 days", base.scaled(4.0)),
+    ];
+
+    let fd = scale.feature_dim();
+    let batch = scale.trainer(seed).batch_size;
+    let mut table = TextTable::new(vec![
+        "Logs",
+        "#Nodes",
+        "#Edges",
+        "#Iterations",
+        "Runtime (s)",
+        "Edges / second",
+    ]);
+    let mut prev: Option<(usize, f64)> = None;
+    for (label, world) in ladder {
+        let dataset = Dataset::generate(&world);
+        let stats = dataset.graph.stats();
+        // one pass over the sessions: iterations ∝ sessions / batch
+        let steps = (world.train_sessions / batch).max(10);
+        let trainer_cfg = TrainerConfig {
+            batch_size: batch,
+            steps,
+            seed,
+            lru_max_age: 0,
+        };
+        let mut model = AmcadModel::new(AmcadConfig::amcad(fd, seed), &dataset.graph);
+        let start = Instant::now();
+        Trainer::new(trainer_cfg).run(&mut model, &dataset.graph);
+        let secs = start.elapsed().as_secs_f64();
+        table.row(vec![
+            label.to_string(),
+            stats.total_nodes().to_string(),
+            stats.total_edges().to_string(),
+            steps.to_string(),
+            format!("{secs:.1}"),
+            format!("{:.0}", stats.total_edges() as f64 / secs.max(1e-9)),
+        ]);
+        if let Some((prev_edges, prev_secs)) = prev {
+            eprintln!(
+                "{label}: edges x{:.2}, runtime x{:.2}",
+                stats.total_edges() as f64 / prev_edges as f64,
+                secs / prev_secs
+            );
+        }
+        prev = Some((stats.total_edges(), secs));
+    }
+    println!("{}", table.render());
+    println!("Paper (Table IX): 0.5h → 6.2h → 17.3h → 35h for 0.18B → 5.3B → 16.1B → 30.8B edges.");
+    println!("Shape to check: runtime grows close to linearly with the number of edges / iterations.");
+}

@@ -1,0 +1,23 @@
+//! # amcad-core
+//!
+//! The end-to-end AMCAD system: one entry point that wires the substrates
+//! together the same way the production deployment does (Fig. 3 of the
+//! paper) — behaviour logs → heterogeneous graph → adaptive mixed-curvature
+//! training → embedding export → MNN inverted indices → two-layer online ad
+//! retrieval → offline / online evaluation.
+//!
+//! * [`Pipeline`] / [`PipelineConfig`] — run the whole loop with one call,
+//! * [`evaluation`] — the offline protocol of Section VI-A.4 (Next AUC,
+//!   HitRate@K, nDCG@K) over any [`amcad_model::PairScorer`],
+//! * [`run_ab_test`] — the simulated online A/B comparison behind Table X.
+
+pub mod evaluation;
+pub mod pipeline;
+
+pub use evaluation::{
+    evaluate_offline, next_auc, ranking_metrics, EvalConfig, OfflineMetrics, OracleScorer,
+    RandomScorer, RankingMetrics, KS,
+};
+pub use pipeline::{
+    build_index_inputs, run_ab_test, AbTestOutcome, Pipeline, PipelineConfig, PipelineResult,
+};

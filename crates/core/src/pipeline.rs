@@ -1,0 +1,283 @@
+//! The end-to-end AMCAD pipeline (Fig. 3 of the paper).
+//!
+//! One call runs the full production loop at laptop scale: behaviour-log
+//! generation → heterogeneous graph construction → adaptive mixed-curvature
+//! training → embedding export → MNN index construction → two-layer online
+//! retrieval → offline metrics — the same flow the paper deploys across
+//! ODPS, Euler, XDL, MNN workers and iGraph.
+
+use amcad_datagen::{Dataset, WorldConfig};
+use amcad_eval::{AbMetrics, AbTestSimulator, ClickModelConfig, ServedAd};
+use amcad_graph::{NodeId, NodeType};
+use amcad_mnn::MixedPointSet;
+use amcad_model::{
+    AmcadConfig, AmcadModel, ModelExport, RelationKind, TrainReport, Trainer, TrainerConfig,
+};
+use amcad_retrieval::{
+    IndexBuildConfig, IndexBuildInputs, IndexSet, RetrievalConfig, TwoLayerRetriever,
+};
+
+use crate::evaluation::{evaluate_offline, EvalConfig, OfflineMetrics};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Synthetic-world / behaviour-log configuration.
+    pub world: WorldConfig,
+    /// Model configuration (AMCAD or any variant).
+    pub model: AmcadConfig,
+    /// Training-loop configuration.
+    pub trainer: TrainerConfig,
+    /// MNN index-construction configuration.
+    pub index: IndexBuildConfig,
+    /// Two-layer retrieval configuration.
+    pub retrieval: RetrievalConfig,
+    /// Offline-evaluation configuration.
+    pub eval: EvalConfig,
+}
+
+impl PipelineConfig {
+    /// A small-but-complete preset used by examples and integration tests.
+    pub fn small(seed: u64) -> Self {
+        PipelineConfig {
+            world: WorldConfig::tiny(seed),
+            model: AmcadConfig::test_tiny(seed),
+            trainer: TrainerConfig {
+                batch_size: 16,
+                steps: 60,
+                seed,
+                lru_max_age: 0,
+            },
+            index: IndexBuildConfig { top_k: 10, threads: 2 },
+            retrieval: RetrievalConfig::default(),
+            eval: EvalConfig {
+                max_queries: 30,
+                auc_negatives: 3,
+                seed,
+            },
+        }
+    }
+
+    /// The offline-experiment preset (paper's "1 day" window at laptop
+    /// scale) — used by the Table VI/VII/VIII experiment binaries.
+    pub fn one_day(seed: u64) -> Self {
+        PipelineConfig {
+            world: WorldConfig::one_day(seed),
+            model: AmcadConfig::amcad(8, seed),
+            trainer: TrainerConfig {
+                batch_size: 64,
+                steps: 400,
+                seed,
+                lru_max_age: 0,
+            },
+            index: IndexBuildConfig { top_k: 20, threads: 4 },
+            retrieval: RetrievalConfig::default(),
+            eval: EvalConfig::default(),
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+pub struct PipelineResult {
+    /// The generated dataset (world, graph, sessions, ground truth).
+    pub dataset: Dataset,
+    /// The trained model.
+    pub model: AmcadModel,
+    /// The exported embeddings and attention weights.
+    pub export: ModelExport,
+    /// The two-layer retriever over the built indices.
+    pub retriever: TwoLayerRetriever,
+    /// The training report.
+    pub train_report: TrainReport,
+    /// Offline metrics of the trained model.
+    pub offline: OfflineMetrics,
+}
+
+/// The end-to-end pipeline runner.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline from a configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run the complete pipeline.
+    pub fn run(&self) -> PipelineResult {
+        let dataset = Dataset::generate(&self.config.world);
+        let mut model = AmcadModel::new(self.config.model.clone(), &dataset.graph);
+        let trainer = Trainer::new(self.config.trainer);
+        let train_report = trainer.run(&mut model, &dataset.graph);
+        let export = model.export(&dataset.graph, self.config.trainer.seed);
+        let offline = evaluate_offline(&export, &dataset, &self.config.eval);
+        let inputs = build_index_inputs(&export, &dataset);
+        let indexes = IndexSet::build(&inputs, self.config.index);
+        let retriever = TwoLayerRetriever::new(indexes, self.config.retrieval);
+        PipelineResult {
+            dataset,
+            model,
+            export,
+            retriever,
+            train_report,
+            offline,
+        }
+    }
+}
+
+/// Assemble the MNN index-construction inputs from a model export: every
+/// node's projected point and attention weights in each edge space it
+/// participates in.
+pub fn build_index_inputs(export: &ModelExport, dataset: &Dataset) -> IndexBuildInputs {
+    let collect = |kind: RelationKind, nodes: &[NodeId]| -> MixedPointSet {
+        let space = &export.spaces[&kind];
+        let mut set = MixedPointSet::new(space.manifold.clone());
+        for &node in nodes {
+            if let (Some(point), Some(weight)) =
+                (space.points.get(&node), space.weights.get(&node))
+            {
+                set.push(node.0, point, weight);
+            }
+        }
+        set
+    };
+    IndexBuildInputs {
+        queries_qq: collect(RelationKind::QueryQuery, &dataset.query_nodes),
+        queries_qi: collect(RelationKind::QueryItem, &dataset.query_nodes),
+        items_qi: collect(RelationKind::QueryItem, &dataset.item_nodes),
+        queries_qa: collect(RelationKind::QueryAd, &dataset.query_nodes),
+        ads_qa: collect(RelationKind::QueryAd, &dataset.ad_nodes),
+        items_ii: collect(RelationKind::ItemItem, &dataset.item_nodes),
+        items_ia: collect(RelationKind::ItemAd, &dataset.item_nodes),
+        ads_ia: collect(RelationKind::ItemAd, &dataset.ad_nodes),
+    }
+}
+
+/// Outcome of a simulated online A/B test between two retrieval channels.
+#[derive(Debug, Clone)]
+pub struct AbTestOutcome {
+    /// Metrics of the control channel.
+    pub control: AbMetrics,
+    /// Metrics of the treatment channel.
+    pub treatment: AbMetrics,
+    /// Number of requests simulated.
+    pub requests: usize,
+}
+
+/// Simulate an online A/B test (Table X): for every next-day session the
+/// control and treatment retrievers each serve an ad list; the click model
+/// turns relevance into clicks and bid prices into revenue.
+pub fn run_ab_test(
+    dataset: &Dataset,
+    control: &TwoLayerRetriever,
+    treatment: &TwoLayerRetriever,
+    click_model: ClickModelConfig,
+) -> AbTestOutcome {
+    let to_served = |retriever: &TwoLayerRetriever, query: NodeId, preclicks: &[NodeId]| {
+        let pre: Vec<u32> = preclicks.iter().map(|n| n.0).collect();
+        retriever
+            .retrieve(query.0, &pre)
+            .into_iter()
+            .map(|ad| {
+                let ad_node = NodeId(ad.ad);
+                ServedAd {
+                    relevance: dataset.relevance(query, ad_node),
+                    bid_price: dataset.bid_price(ad_node),
+                }
+            })
+            .collect::<Vec<ServedAd>>()
+    };
+
+    let mut control_lists = Vec::new();
+    let mut treatment_lists = Vec::new();
+    for session in &dataset.eval_sessions {
+        // Only item clicks are available as pre-click context at request
+        // time (the ad list is what we are about to serve).
+        let preclicks: Vec<NodeId> = session
+            .clicks
+            .iter()
+            .copied()
+            .filter(|c| dataset.graph.node_type(*c) == NodeType::Item)
+            .collect();
+        control_lists.push(to_served(control, session.query, &preclicks));
+        treatment_lists.push(to_served(treatment, session.query, &preclicks));
+    }
+    let simulator = AbTestSimulator::new(click_model);
+    let requests: Vec<(&[ServedAd], &[ServedAd])> = control_lists
+        .iter()
+        .zip(&treatment_lists)
+        .map(|(c, t)| (c.as_slice(), t.as_slice()))
+        .collect();
+    let n = requests.len();
+    let (control_metrics, treatment_metrics) = simulator.run(requests);
+    AbTestOutcome {
+        control: control_metrics,
+        treatment: treatment_metrics,
+        requests: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs_end_to_end_and_serves_ads() {
+        let pipeline = Pipeline::new(PipelineConfig::small(61));
+        let result = pipeline.run();
+        assert!(!result.train_report.losses.is_empty());
+        assert!(result.offline.next_auc > 0.0);
+        // the retriever serves ads for an arbitrary evaluation session
+        let session = &result.dataset.eval_sessions[0];
+        let pre: Vec<u32> = result
+            .dataset
+            .preclick_items(session)
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        let ads = result.retriever.retrieve(session.query.0, &pre);
+        assert!(!ads.is_empty(), "the two-layer retriever should find ads");
+        for ad in &ads {
+            assert_eq!(
+                result.dataset.graph.node_type(NodeId(ad.ad)),
+                NodeType::Ad,
+                "retrieved ids must be ads"
+            );
+        }
+    }
+
+    #[test]
+    fn index_inputs_cover_all_nodes_of_each_space() {
+        let pipeline = Pipeline::new(PipelineConfig::small(62));
+        let result = pipeline.run();
+        let inputs = build_index_inputs(&result.export, &result.dataset);
+        assert_eq!(inputs.queries_qq.len(), result.dataset.query_nodes.len());
+        assert_eq!(inputs.items_qi.len(), result.dataset.item_nodes.len());
+        assert_eq!(inputs.ads_qa.len(), result.dataset.ad_nodes.len());
+        assert_eq!(inputs.ads_ia.len(), result.dataset.ad_nodes.len());
+    }
+
+    #[test]
+    fn ab_test_between_identical_channels_reports_traffic() {
+        let pipeline = Pipeline::new(PipelineConfig::small(63));
+        let result = pipeline.run();
+        let outcome = run_ab_test(
+            &result.dataset,
+            &result.retriever,
+            &result.retriever,
+            ClickModelConfig {
+                seed: 63,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcome.requests, result.dataset.eval_sessions.len());
+        assert!(outcome.control.impressions.iter().sum::<u64>() > 0);
+        assert!(outcome.treatment.impressions.iter().sum::<u64>() > 0);
+    }
+}

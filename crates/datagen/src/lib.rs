@@ -1,0 +1,26 @@
+//! # amcad-datagen
+//!
+//! Synthetic e-commerce sponsored-search world and behaviour-log generator —
+//! the stand-in for the proprietary Taobao user logs the paper trains on.
+//!
+//! The generator plants the two graph structures the paper's introduction
+//! motivates (a query hierarchy for the hyperbolic subspace, cyclic co-click
+//! / co-bid product clusters for the spherical subspace), simulates user
+//! search-and-click sessions from a latent relevance model, and derives the
+//! interaction graph plus next-day ground truth used by every offline and
+//! online experiment.
+//!
+//! * [`WorldConfig`] — scale presets (`tiny`, `one_day`, the Table IX scale
+//!   ladder),
+//! * [`World`] — category tree, query / item / ad entities, users, and the
+//!   ground-truth relevance function,
+//! * [`Dataset`] — simulated sessions, the built [`amcad_graph::HeteroGraph`]
+//!   and next-day [`GroundTruth`].
+
+pub mod config;
+pub mod dataset;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use dataset::{Dataset, GroundTruth};
+pub use world::{AdEntity, CategoryTree, ItemEntity, ProductRef, QueryEntity, UserProfile, World};

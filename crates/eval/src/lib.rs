@@ -1,0 +1,14 @@
+//! # amcad-eval
+//!
+//! Evaluation for the AMCAD reproduction: the offline ranking metrics of
+//! Tables VI–VIII (Next AUC, HitRate@K, nDCG@K), the online A/B-test
+//! simulator behind Table X (CTR / RPM per result page), and the plain-text
+//! table formatting shared by every experiment binary.
+
+pub mod abtest;
+pub mod metrics;
+pub mod report;
+
+pub use abtest::{relative_lift, AbMetrics, AbTestSimulator, ClickModelConfig, ServedAd};
+pub use metrics::{auc, hitrate_at_k, mean, ndcg_at_k};
+pub use report::{fmt, fmt_pct, TextTable};

@@ -1,0 +1,146 @@
+//! Ranking metrics: ROC-AUC, HitRate@K and nDCG@K.
+//!
+//! These are the offline metrics of the paper's Table VI/VII/VIII: *Next
+//! AUC* is the ROC-AUC of the model's scores on next-day edges against
+//! sampled non-edges, and HitRate/nDCG compare the retrieved top-K list
+//! against the ground-truth list of products sorted by next-day click count.
+//! Functions are generic over the id type so they work with graph node ids
+//! or any other identifier.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Area under the ROC curve given scores of positive and negative examples.
+///
+/// Computed by the rank-sum (Mann–Whitney) formulation; ties contribute ½.
+/// Returns 0.5 when either side is empty.
+pub fn auc(positive_scores: &[f64], negative_scores: &[f64]) -> f64 {
+    if positive_scores.is_empty() || negative_scores.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in positive_scores {
+        for &n in negative_scores {
+            if p > n {
+                wins += 1.0;
+            } else if (p - n).abs() < 1e-15 {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (positive_scores.len() as f64 * negative_scores.len() as f64)
+}
+
+/// HitRate@K: the fraction of ground-truth entries that appear in the top-K
+/// of the ranked retrieval list (recall@K).  Reported in percent to match
+/// the paper's tables.
+pub fn hitrate_at_k<T: Eq + Hash>(ranked: &[T], ground_truth: &[T], k: usize) -> f64 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let topk: std::collections::HashSet<&T> = ranked.iter().take(k).collect();
+    let hits = ground_truth.iter().filter(|g| topk.contains(g)).count();
+    100.0 * hits as f64 / ground_truth.len() as f64
+}
+
+/// nDCG@K with graded gains: the ground truth supplies a gain per id (the
+/// paper uses next-day click counts); the ranked list's DCG is normalised by
+/// the ideal DCG of the ground truth.  Reported in percent.
+pub fn ndcg_at_k<T: Eq + Hash + Copy>(ranked: &[T], gains: &[(T, f64)], k: usize) -> f64 {
+    if gains.is_empty() {
+        return 0.0;
+    }
+    let gain_of: HashMap<T, f64> = gains.iter().copied().collect();
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, id)| {
+            let g = gain_of.get(id).copied().unwrap_or(0.0);
+            g / ((i + 2) as f64).log2()
+        })
+        .sum();
+    let mut ideal: Vec<f64> = gains.iter().map(|(_, g)| *g).collect();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
+    if idcg <= 0.0 {
+        0.0
+    } else {
+        100.0 * dcg / idcg
+    }
+}
+
+/// Mean of a slice (0 for an empty slice) — small helper shared by the
+/// experiment harness.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_of_perfect_separation_is_one() {
+        assert_eq!(auc(&[0.9, 0.8], &[0.1, 0.2]), 1.0);
+        assert_eq!(auc(&[0.1, 0.2], &[0.9, 0.8]), 0.0);
+    }
+
+    #[test]
+    fn auc_of_identical_scores_is_half() {
+        assert_eq!(auc(&[0.5, 0.5], &[0.5, 0.5]), 0.5);
+        assert_eq!(auc(&[], &[0.5]), 0.5);
+        assert_eq!(auc(&[0.5], &[]), 0.5);
+    }
+
+    #[test]
+    fn auc_counts_partial_ordering() {
+        // pos {3, 1}, neg {2, 0}: pairs (3>2, 3>0, 1<2, 1>0) → 3/4
+        assert!((auc(&[3.0, 1.0], &[2.0, 0.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hitrate_counts_recall_in_percent() {
+        let ranked = vec![1, 2, 3, 4, 5];
+        let truth = vec![2, 9];
+        assert_eq!(hitrate_at_k(&ranked, &truth, 3), 50.0);
+        assert_eq!(hitrate_at_k(&ranked, &truth, 1), 0.0);
+        assert_eq!(hitrate_at_k(&ranked, &Vec::<i32>::new(), 3), 0.0);
+        assert_eq!(hitrate_at_k(&ranked, &vec![1, 2, 3], 5), 100.0);
+    }
+
+    #[test]
+    fn ndcg_is_100_for_ideal_ranking_and_lower_otherwise() {
+        let gains = vec![(1u32, 3.0), (2, 2.0), (3, 1.0)];
+        let ideal = vec![1u32, 2, 3];
+        let worst = vec![3u32, 2, 1];
+        assert!((ndcg_at_k(&ideal, &gains, 3) - 100.0).abs() < 1e-9);
+        let w = ndcg_at_k(&worst, &gains, 3);
+        assert!(w < 100.0 && w > 0.0);
+        // irrelevant items only → 0
+        assert_eq!(ndcg_at_k(&[9u32, 8, 7], &gains, 3), 0.0);
+    }
+
+    #[test]
+    fn ndcg_handles_empty_and_truncated_lists() {
+        let gains = vec![(1u32, 1.0)];
+        assert_eq!(ndcg_at_k(&Vec::<u32>::new(), &gains, 5), 0.0);
+        assert_eq!(ndcg_at_k(&[1u32], &[], 5), 0.0);
+        assert!((ndcg_at_k(&[1u32], &gains, 5) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

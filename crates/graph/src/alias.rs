@@ -1,0 +1,148 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! The paper uses the alias method (Walker 1977) inside the Euler engine to
+//! draw negative samples in constant time (Section V-A); the same structure
+//! is used here both for negative sampling and for degree-weighted walk
+//! starts.
+
+use rand::Rng;
+
+/// Precomputed alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build an alias table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative value, or sums to
+    /// zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "alias table weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, p) in prob.iter().enumerate() {
+            if *p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining entries are 1.0 up to floating point error.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / 40_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respect_proportions() {
+        let table = AliasTable::new(&[1.0, 3.0, 6.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let expected = [0.1, 0.3, 0.6];
+        for (c, e) in counts.iter().zip(expected) {
+            assert!((*c as f64 / n as f64 - e).abs() < 0.01, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_are_never_drawn() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_drawn() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(table.len(), 1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+}

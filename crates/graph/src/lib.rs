@@ -1,0 +1,25 @@
+//! # amcad-graph
+//!
+//! Heterogeneous query–item–ad interaction graph engine — the in-process
+//! substitute for Alibaba's distributed Euler graph engine that the paper
+//! trains on.
+//!
+//! * [`HeteroGraph`] / [`GraphBuilder`]: typed nodes (query / item / ad),
+//!   typed relations (click / co-click / semantic / co-bid), CSR adjacency,
+//!   node features (Table IV), and the edge-construction rules of
+//!   Section IV-A.1 (sessions → click & co-click edges, term Jaccard →
+//!   semantic edges, shared bid keywords → co-bid edges).
+//! * [`AliasTable`]: Walker's alias method for O(1) weighted sampling.
+//! * [`MetaPathSampler`]: meta-path guided random walks (Table III),
+//!   same-category positive pair extraction and hard/easy negative sampling
+//!   (Section IV-A.2).
+
+pub mod alias;
+pub mod graph;
+pub mod sampling;
+pub mod types;
+
+pub use alias::AliasTable;
+pub use graph::{jaccard, GraphBuilder, GraphStats, HeteroGraph};
+pub use sampling::{MetaPath, MetaPathSampler, MetaPathStep, SamplerConfig, TrainSample};
+pub use types::{NodeFeatures, NodeId, NodeType, Relation, SessionRecord};

@@ -1,0 +1,307 @@
+//! Mixed-curvature product manifolds.
+//!
+//! The paper's node representations live in a Cartesian product
+//! `U^d_{κ1} × … × U^d_{κM}` of unified subspaces (Eq. 2).  A point of the
+//! product is stored as one contiguous `f64` slice of length `Σ dims`,
+//! split into per-subspace segments.  Distances can be the plain sum of
+//! per-subspace geodesics (Eq. 3, the classical product-space definition) or
+//! the attention-weighted combination the edge-level scorer uses (Eq. 14).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops;
+use crate::space::{SpaceKind, UnifiedSpace};
+
+/// Specification of one subspace inside a product manifold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubspaceSpec {
+    /// Dimension of the subspace.
+    pub dim: usize,
+    /// Curvature of the subspace.
+    pub kappa: f64,
+}
+
+impl SubspaceSpec {
+    /// Convenience constructor.
+    pub fn new(dim: usize, kappa: f64) -> Self {
+        SubspaceSpec { dim, kappa }
+    }
+}
+
+/// A product of constant-curvature subspaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductManifold {
+    subspaces: Vec<SubspaceSpec>,
+    offsets: Vec<usize>,
+    total_dim: usize,
+}
+
+/// A point of a product manifold: a borrowed contiguous coordinate slice
+/// together with the manifold describing its layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ProductPoint<'a> {
+    /// The manifold this point belongs to.
+    pub manifold: &'a ProductManifold,
+    /// Concatenated per-subspace coordinates (length `manifold.total_dim()`).
+    pub coords: &'a [f64],
+}
+
+impl ProductManifold {
+    /// Build a product manifold from subspace specifications.
+    pub fn new(subspaces: Vec<SubspaceSpec>) -> Self {
+        assert!(!subspaces.is_empty(), "product manifold needs ≥ 1 subspace");
+        let mut offsets = Vec::with_capacity(subspaces.len());
+        let mut total = 0;
+        for s in &subspaces {
+            assert!(s.dim > 0, "subspace dimension must be positive");
+            offsets.push(total);
+            total += s.dim;
+        }
+        ProductManifold {
+            subspaces,
+            offsets,
+            total_dim: total,
+        }
+    }
+
+    /// Product of `m` identical subspaces of dimension `dim` and curvature
+    /// `kappa`.
+    pub fn uniform(m: usize, dim: usize, kappa: f64) -> Self {
+        ProductManifold::new(vec![SubspaceSpec::new(dim, kappa); m])
+    }
+
+    /// Build from [`UnifiedSpace`] descriptors.
+    pub fn from_spaces(spaces: &[UnifiedSpace]) -> Self {
+        ProductManifold::new(
+            spaces
+                .iter()
+                .map(|s| SubspaceSpec::new(s.dim, s.kappa()))
+                .collect(),
+        )
+    }
+
+    /// Number of subspaces `M`.
+    #[inline]
+    pub fn num_subspaces(&self) -> usize {
+        self.subspaces.len()
+    }
+
+    /// Total ambient dimension (sum of subspace dimensions).
+    #[inline]
+    pub fn total_dim(&self) -> usize {
+        self.total_dim
+    }
+
+    /// Subspace specifications.
+    #[inline]
+    pub fn subspaces(&self) -> &[SubspaceSpec] {
+        &self.subspaces
+    }
+
+    /// The coordinate range of subspace `m` within a concatenated point.
+    #[inline]
+    pub fn range(&self, m: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[m];
+        start..start + self.subspaces[m].dim
+    }
+
+    /// Borrow the coordinates of subspace `m` from a concatenated point.
+    #[inline]
+    pub fn component<'a>(&self, point: &'a [f64], m: usize) -> &'a [f64] {
+        &point[self.range(m)]
+    }
+
+    /// Replace the curvature of subspace `m` (used when curvatures are
+    /// re-exported after training).
+    pub fn set_kappa(&mut self, m: usize, kappa: f64) {
+        self.subspaces[m].kappa = kappa;
+    }
+
+    /// Per-subspace geodesic distances between two concatenated points.
+    pub fn component_distances(&self, x: &[f64], y: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.total_dim);
+        debug_assert_eq!(y.len(), self.total_dim);
+        self.subspaces
+            .iter()
+            .enumerate()
+            .map(|(m, s)| ops::distance(self.component(x, m), self.component(y, m), s.kappa))
+            .collect()
+    }
+
+    /// Product-space distance: the unweighted sum of per-subspace geodesics
+    /// (Eq. 3 — what Gu et al.'s product space and the `- comb` ablation
+    /// use).
+    pub fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.component_distances(x, y).iter().sum()
+    }
+
+    /// Attention-weighted distance (Eq. 14): `Σ_m w_m · d_m(x, y)`.
+    pub fn weighted_distance(&self, x: &[f64], y: &[f64], weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), self.num_subspaces());
+        self.component_distances(x, y)
+            .iter()
+            .zip(weights)
+            .map(|(d, w)| d * w)
+            .sum()
+    }
+
+    /// Map a concatenated tangent vector through the per-subspace exponential
+    /// maps at the origin.
+    pub fn exp0(&self, v: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(v.len(), self.total_dim);
+        let mut out = Vec::with_capacity(self.total_dim);
+        for (m, s) in self.subspaces.iter().enumerate() {
+            out.extend(ops::exp_map_origin(self.component(v, m), s.kappa));
+        }
+        out
+    }
+
+    /// Map a concatenated point through the per-subspace logarithmic maps at
+    /// the origin.
+    pub fn log0(&self, y: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(y.len(), self.total_dim);
+        let mut out = Vec::with_capacity(self.total_dim);
+        for (m, s) in self.subspaces.iter().enumerate() {
+            out.extend(ops::log_map_origin(self.component(y, m), s.kappa));
+        }
+        out
+    }
+
+    /// Project each component back into its valid region.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.total_dim);
+        let mut out = Vec::with_capacity(self.total_dim);
+        for (m, s) in self.subspaces.iter().enumerate() {
+            out.extend(ops::project_to_ball(self.component(x, m), s.kappa));
+        }
+        out
+    }
+
+    /// Distance of a point from the product-space origin (used by the
+    /// curved-space regulariser, Eq. 16).
+    pub fn distance_from_origin(&self, x: &[f64]) -> f64 {
+        let zero = vec![0.0; self.total_dim];
+        self.distance(&zero, x)
+    }
+
+    /// Summary of the space kinds the current curvatures correspond to
+    /// (useful for reporting what an adaptive model converged to).
+    pub fn kind_signature(&self) -> Vec<SpaceKind> {
+        self.subspaces
+            .iter()
+            .map(|s| SpaceKind::classify(s.kappa))
+            .collect()
+    }
+}
+
+impl<'a> ProductPoint<'a> {
+    /// Wrap a coordinate slice as a point of `manifold`.
+    pub fn new(manifold: &'a ProductManifold, coords: &'a [f64]) -> Self {
+        assert_eq!(coords.len(), manifold.total_dim());
+        ProductPoint { manifold, coords }
+    }
+
+    /// Geodesic product distance to another point of the same manifold.
+    pub fn distance_to(&self, other: &ProductPoint<'_>) -> f64 {
+        self.manifold.distance(self.coords, other.coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifold() -> ProductManifold {
+        ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(3, 1.0)])
+    }
+
+    #[test]
+    fn layout_offsets_and_ranges() {
+        let m = sample_manifold();
+        assert_eq!(m.num_subspaces(), 2);
+        assert_eq!(m.total_dim(), 5);
+        assert_eq!(m.range(0), 0..2);
+        assert_eq!(m.range(1), 2..5);
+    }
+
+    #[test]
+    fn component_views_the_right_slice() {
+        let m = sample_manifold();
+        let p = [0.1, 0.2, 0.3, 0.4, 0.5];
+        assert_eq!(m.component(&p, 0), &[0.1, 0.2]);
+        assert_eq!(m.component(&p, 1), &[0.3, 0.4, 0.5]);
+    }
+
+    #[test]
+    fn product_distance_is_sum_of_components() {
+        let m = sample_manifold();
+        let x = m.exp0(&[0.1, -0.2, 0.05, 0.1, -0.1]);
+        let y = m.exp0(&[-0.05, 0.1, 0.2, -0.1, 0.02]);
+        let comps = m.component_distances(&x, &y);
+        assert_eq!(comps.len(), 2);
+        assert!((m.distance(&x, &y) - comps.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distance_with_uniform_weights_matches_mean_scaling() {
+        let m = sample_manifold();
+        let x = m.exp0(&[0.1, -0.2, 0.05, 0.1, -0.1]);
+        let y = m.exp0(&[-0.05, 0.1, 0.2, -0.1, 0.02]);
+        let w = [0.5, 0.5];
+        let wd = m.weighted_distance(&x, &y, &w);
+        assert!((wd - 0.5 * m.distance(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp0_log0_roundtrip_per_component() {
+        let m = sample_manifold();
+        let v = [0.11, -0.07, 0.2, 0.05, -0.12];
+        let p = m.exp0(&v);
+        let back = m.log0(&p);
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn uniform_builder_replicates_spec() {
+        let m = ProductManifold::uniform(3, 4, -0.5);
+        assert_eq!(m.num_subspaces(), 3);
+        assert_eq!(m.total_dim(), 12);
+        assert!(m.subspaces().iter().all(|s| s.kappa == -0.5 && s.dim == 4));
+    }
+
+    #[test]
+    fn kind_signature_classifies_each_subspace() {
+        let m = sample_manifold();
+        assert_eq!(
+            m.kind_signature(),
+            vec![SpaceKind::Hyperbolic, SpaceKind::Spherical]
+        );
+    }
+
+    #[test]
+    fn distance_from_origin_is_zero_at_origin() {
+        let m = sample_manifold();
+        let zero = vec![0.0; m.total_dim()];
+        assert!(m.distance_from_origin(&zero).abs() < 1e-12);
+        let p = m.exp0(&[0.1, 0.1, 0.1, 0.1, 0.1]);
+        assert!(m.distance_from_origin(&p) > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_product_panics() {
+        ProductManifold::new(vec![]);
+    }
+
+    #[test]
+    fn product_point_distance_matches_manifold() {
+        let m = sample_manifold();
+        let x = m.exp0(&[0.1, -0.2, 0.05, 0.1, -0.1]);
+        let y = m.exp0(&[-0.05, 0.1, 0.2, -0.1, 0.02]);
+        let px = ProductPoint::new(&m, &x);
+        let py = ProductPoint::new(&m, &y);
+        assert!((px.distance_to(&py) - m.distance(&x, &y)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Curvature-dependent scalar trigonometry.
+//!
+//! The unified κ-stereographic model replaces ordinary `tan`/`arctan` with
+//! curvature generalisations (`tan_κ`, `tan⁻¹_κ` in Table II of the paper)
+//! that interpolate smoothly between hyperbolic (`κ < 0`), Euclidean
+//! (`κ = 0`) and spherical (`κ > 0`) behaviour.  Near `κ = 0` the closed
+//! forms are numerically unstable (`0/0`), so a third-order Taylor expansion
+//! is used inside `|κ| < KAPPA_EPS`; the expansion agrees with both branches
+//! to `O(κ²)`.
+
+/// Threshold below which curvature is treated as (numerically) zero.
+pub const KAPPA_EPS: f64 = 1e-7;
+
+/// Curvature-dependent tangent `tan_κ(x)`.
+///
+/// * `κ < 0`: `tanh(√(-κ)·x)/√(-κ)`
+/// * `κ ≈ 0`: `x + κ·x³/3` (Taylor)
+/// * `κ > 0`: `tan(√κ·x)/√κ`
+#[inline]
+pub fn tan_kappa(x: f64, kappa: f64) -> f64 {
+    if kappa < -KAPPA_EPS {
+        let s = (-kappa).sqrt();
+        (s * x).tanh() / s
+    } else if kappa > KAPPA_EPS {
+        let s = kappa.sqrt();
+        (s * x).tan() / s
+    } else {
+        x + kappa * x * x * x / 3.0
+    }
+}
+
+/// Curvature-dependent arc tangent `tan⁻¹_κ(y)`, the inverse of
+/// [`tan_kappa`] on its principal branch.
+///
+/// * `κ < 0`: `artanh(√(-κ)·y)/√(-κ)` (argument clamped into `(-1, 1)`)
+/// * `κ ≈ 0`: `y - κ·y³/3` (Taylor)
+/// * `κ > 0`: `arctan(√κ·y)/√κ`
+#[inline]
+pub fn atan_kappa(y: f64, kappa: f64) -> f64 {
+    if kappa < -KAPPA_EPS {
+        let s = (-kappa).sqrt();
+        let a = (s * y).clamp(-1.0 + 1e-15, 1.0 - 1e-15);
+        a.atanh() / s
+    } else if kappa > KAPPA_EPS {
+        let s = kappa.sqrt();
+        (s * y).atan() / s
+    } else {
+        y - kappa * y * y * y / 3.0
+    }
+}
+
+/// Curvature-dependent sine `sin_κ(x)` (used by a few geometric helpers and
+/// by tests as an independent cross-check of `tan_κ = sin_κ / cos_κ`).
+#[inline]
+pub fn sin_kappa(x: f64, kappa: f64) -> f64 {
+    if kappa < -KAPPA_EPS {
+        let s = (-kappa).sqrt();
+        (s * x).sinh() / s
+    } else if kappa > KAPPA_EPS {
+        let s = kappa.sqrt();
+        (s * x).sin() / s
+    } else {
+        x + kappa * x * x * x / 6.0
+    }
+}
+
+/// Curvature-dependent cosine `cos_κ(x)`.
+#[inline]
+pub fn cos_kappa(x: f64, kappa: f64) -> f64 {
+    if kappa < -KAPPA_EPS {
+        ((-kappa).sqrt() * x).cosh()
+    } else if kappa > KAPPA_EPS {
+        (kappa.sqrt() * x).cos()
+    } else {
+        1.0 + kappa * x * x / 2.0
+    }
+}
+
+/// Partial derivative of [`tan_kappa`] with respect to `x`.
+///
+/// Used by the autodiff primitive so that curvature-trigonometry gradients
+/// have a single authoritative implementation.
+#[inline]
+pub fn tan_kappa_dx(x: f64, kappa: f64) -> f64 {
+    if kappa < -KAPPA_EPS {
+        let t = ((-kappa).sqrt() * x).tanh();
+        1.0 - t * t
+    } else if kappa > KAPPA_EPS {
+        let c = (kappa.sqrt() * x).cos();
+        1.0 / (c * c)
+    } else {
+        1.0 + kappa * x * x
+    }
+}
+
+/// Partial derivative of [`tan_kappa`] with respect to `κ`.
+#[inline]
+pub fn tan_kappa_dkappa(x: f64, kappa: f64) -> f64 {
+    if kappa.abs() <= KAPPA_EPS {
+        // d/dκ [x + κ x³/3] = x³/3
+        return x * x * x / 3.0;
+    }
+    if kappa < 0.0 {
+        // f = tanh(s x)/s with s = sqrt(-κ), ds/dκ = -1/(2s)
+        let s = (-kappa).sqrt();
+        let t = (s * x).tanh();
+        let df_ds = (x * (1.0 - t * t) * s - t) / (s * s);
+        df_ds * (-1.0 / (2.0 * s))
+    } else {
+        // f = tan(s x)/s with s = sqrt(κ), ds/dκ = 1/(2s)
+        let s = kappa.sqrt();
+        let c = (s * x).cos();
+        let t = (s * x).tan();
+        let df_ds = (x / (c * c) * s - t) / (s * s);
+        df_ds * (1.0 / (2.0 * s))
+    }
+}
+
+/// Partial derivative of [`atan_kappa`] with respect to `y`.
+#[inline]
+pub fn atan_kappa_dy(y: f64, kappa: f64) -> f64 {
+    if kappa < -KAPPA_EPS {
+        let s2 = -kappa;
+        1.0 / (1.0 - s2 * y * y).max(1e-15)
+    } else if kappa > KAPPA_EPS {
+        1.0 / (1.0 + kappa * y * y)
+    } else {
+        1.0 - kappa * y * y
+    }
+}
+
+/// Partial derivative of [`atan_kappa`] with respect to `κ`.
+#[inline]
+pub fn atan_kappa_dkappa(y: f64, kappa: f64) -> f64 {
+    if kappa.abs() <= KAPPA_EPS {
+        // d/dκ [y - κ y³/3] = -y³/3
+        return -y * y * y / 3.0;
+    }
+    if kappa < 0.0 {
+        // f = artanh(s y)/s, s = sqrt(-κ), ds/dκ = -1/(2s)
+        let s = (-kappa).sqrt();
+        let a = (s * y).clamp(-1.0 + 1e-12, 1.0 - 1e-12);
+        let df_ds = (y / (1.0 - a * a) * s - a.atanh()) / (s * s);
+        df_ds * (-1.0 / (2.0 * s))
+    } else {
+        // f = atan(s y)/s, s = sqrt(κ), ds/dκ = 1/(2s)
+        let s = kappa.sqrt();
+        let df_ds = (y / (1.0 + s * s * y * y) * s - (s * y).atan()) / (s * s);
+        df_ds * (1.0 / (2.0 * s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol,
+            "expected {a} ≈ {b} (diff {})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn tan_kappa_reduces_to_identity_at_zero_curvature() {
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            assert_close(tan_kappa(x, 0.0), x, 1e-12);
+            assert_close(atan_kappa(x, 0.0), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn tan_kappa_matches_tanh_for_unit_negative_curvature() {
+        for &x in &[-1.5, -0.2, 0.0, 0.4, 2.0] {
+            assert_close(tan_kappa(x, -1.0), x.tanh(), 1e-12);
+            assert_close(sin_kappa(x, -1.0), x.sinh(), 1e-12);
+            assert_close(cos_kappa(x, -1.0), x.cosh(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn tan_kappa_matches_tan_for_unit_positive_curvature() {
+        for &x in &[-1.0, -0.2, 0.0, 0.4, 1.2] {
+            assert_close(tan_kappa(x, 1.0), x.tan(), 1e-12);
+            assert_close(sin_kappa(x, 1.0), x.sin(), 1e-12);
+            assert_close(cos_kappa(x, 1.0), x.cos(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn atan_is_inverse_of_tan() {
+        for &kappa in &[-2.0, -1.0, -0.1, 0.0, 0.1, 1.0, 2.0] {
+            for &x in &[-0.7, -0.3, 0.0, 0.2, 0.6] {
+                let y = tan_kappa(x, kappa);
+                assert_close(atan_kappa(y, kappa), x, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn taylor_branch_is_continuous_with_closed_forms() {
+        // Values just inside and just outside the Taylor window must agree.
+        let x = 0.37;
+        for sign in [-1.0, 1.0] {
+            let just_out = sign * (KAPPA_EPS * 1.01);
+            let just_in = sign * (KAPPA_EPS * 0.99);
+            assert_close(tan_kappa(x, just_out), tan_kappa(x, just_in), 1e-9);
+            assert_close(atan_kappa(x, just_out), atan_kappa(x, just_in), 1e-9);
+        }
+    }
+
+    #[test]
+    fn tan_equals_sin_over_cos() {
+        for &kappa in &[-1.3, -0.4, 0.5, 1.7] {
+            for &x in &[-0.6, 0.1, 0.5] {
+                assert_close(
+                    tan_kappa(x, kappa),
+                    sin_kappa(x, kappa) / cos_kappa(x, kappa),
+                    1e-10,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_wrt_x_matches_finite_difference() {
+        // Points kept inside the hyperbolic domain |x|·√(-κ) < 1.
+        let h = 1e-6;
+        for &kappa in &[-1.5, -0.3, 0.0, 0.3, 1.5] {
+            for &x in &[-0.6, -0.1, 0.25, 0.6] {
+                let fd = (tan_kappa(x + h, kappa) - tan_kappa(x - h, kappa)) / (2.0 * h);
+                assert_close(tan_kappa_dx(x, kappa), fd, 1e-5);
+                let fd = (atan_kappa(x + h, kappa) - atan_kappa(x - h, kappa)) / (2.0 * h);
+                assert_close(atan_kappa_dy(x, kappa), fd, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_wrt_kappa_matches_finite_difference() {
+        // Points kept inside the hyperbolic domain |x|·√(-κ) < 1.
+        let h = 1e-6;
+        for &kappa in &[-1.5, -0.3, 0.3, 1.5] {
+            for &x in &[-0.6, -0.1, 0.25, 0.6] {
+                let fd = (tan_kappa(x, kappa + h) - tan_kappa(x, kappa - h)) / (2.0 * h);
+                assert_close(tan_kappa_dkappa(x, kappa), fd, 1e-4);
+                let fd = (atan_kappa(x, kappa + h) - atan_kappa(x, kappa - h)) / (2.0 * h);
+                assert_close(atan_kappa_dkappa(x, kappa), fd, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_wrt_kappa_near_zero_uses_taylor() {
+        let x = 0.4;
+        assert_close(tan_kappa_dkappa(x, 0.0), x * x * x / 3.0, 1e-12);
+        assert_close(atan_kappa_dkappa(x, 0.0), -x * x * x / 3.0, 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Exact (brute-force) top-K retrieval with data-level parallelism.
+//!
+//! The paper's MNN module distributes index construction over a fleet of
+//! workers and parallelises the per-worker computation with OpenMP (data
+//! level) and SIMD (instruction level).  Here the data-level parallelism is
+//! provided by crossbeam scoped threads over key shards, and the inner
+//! distance loops are simple slice arithmetic the compiler can vectorise.
+
+use std::collections::HashMap;
+
+use crate::points::MixedPointSet;
+
+/// One inverted-index posting list: the K nearest candidates of a key, with
+/// their mixed-curvature distances, sorted by increasing distance.
+pub type Postings = Vec<(u32, f64)>;
+
+/// An inverted index: key node id → top-K nearest candidate ids.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    entries: HashMap<u32, Postings>,
+}
+
+impl InvertedIndex {
+    /// Posting list of a key, if present.
+    pub fn get(&self, key: u32) -> Option<&Postings> {
+        self.entries.get(&key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(key, postings)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&u32, &Postings)> {
+        self.entries.iter()
+    }
+
+    /// Insert a posting list (used by the IVF index and tests).
+    pub fn insert(&mut self, key: u32, postings: Postings) {
+        self.entries.insert(key, postings);
+    }
+}
+
+/// Keep the `k` smallest (distance, id) pairs while scanning candidates.
+#[derive(Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    heap: Vec<(f64, u32)>, // max-heap by distance (linear: k is small)
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: Vec::with_capacity(k + 1),
+        }
+    }
+
+    pub(crate) fn push(&mut self, distance: f64, id: u32) {
+        if self.heap.len() < self.k {
+            self.heap.push((distance, id));
+        } else if let Some((worst_idx, worst)) = self
+            .heap
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            .map(|(i, v)| (i, *v))
+        {
+            if distance < worst.0 {
+                self.heap[worst_idx] = (distance, id);
+            }
+        }
+    }
+
+    pub(crate) fn into_sorted(mut self) -> Postings {
+        self.heap
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        self.heap.into_iter().map(|(d, id)| (id, d)).collect()
+    }
+}
+
+/// Exact top-K search from every key to the candidate set.
+///
+/// * `exclude_same_id`: skip a candidate whose id equals the key's id (used
+///   for the self-indices Q2Q / I2I).
+/// * `threads`: number of worker threads (1 = sequential).
+pub fn build_exact_index(
+    keys: &MixedPointSet,
+    candidates: &MixedPointSet,
+    k: usize,
+    exclude_same_id: bool,
+    threads: usize,
+) -> InvertedIndex {
+    let n_keys = keys.len();
+    if n_keys == 0 || candidates.is_empty() || k == 0 {
+        return InvertedIndex::default();
+    }
+    let threads = threads.max(1).min(n_keys);
+
+    let search_range = |start: usize, end: usize| -> Vec<(u32, Postings)> {
+        let mut out = Vec::with_capacity(end - start);
+        for i in start..end {
+            let key_id = keys.id(i);
+            let mut topk = TopK::new(k);
+            for j in 0..candidates.len() {
+                let cand_id = candidates.id(j);
+                if exclude_same_id && cand_id == key_id {
+                    continue;
+                }
+                let d = keys.distance_between(i, candidates, j);
+                topk.push(d, cand_id);
+            }
+            out.push((key_id, topk.into_sorted()));
+        }
+        out
+    };
+
+    let mut entries = HashMap::with_capacity(n_keys);
+    if threads == 1 {
+        for (key, postings) in search_range(0, n_keys) {
+            entries.insert(key, postings);
+        }
+    } else {
+        let chunk = n_keys.div_ceil(threads);
+        let results: Vec<Vec<(u32, Postings)>> = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n_keys);
+                if start >= end {
+                    continue;
+                }
+                let search = &search_range;
+                handles.push(scope.spawn(move |_| search(start, end)));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("index-building threads must not panic");
+        for shard in results {
+            for (key, postings) in shard {
+                entries.insert(key, postings);
+            }
+        }
+    }
+    InvertedIndex { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amcad_manifold::{ProductManifold, SubspaceSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_set(n: usize, seed: u64) -> MixedPointSet {
+        let manifold =
+            ProductManifold::new(vec![SubspaceSpec::new(3, -1.0), SubspaceSpec::new(3, 1.0)]);
+        let mut set = MixedPointSet::new(manifold.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let tangent: Vec<f64> = (0..6).map(|_| rng.gen_range(-0.3..0.3)).collect();
+            let w0: f64 = rng.gen_range(0.2..0.8);
+            set.push(i as u32, &manifold.exp0(&tangent), &[w0, 1.0 - w0]);
+        }
+        set
+    }
+
+    #[test]
+    fn index_contains_every_key_with_k_sorted_postings() {
+        let keys = random_set(20, 1);
+        let cands = random_set(50, 2);
+        let index = build_exact_index(&keys, &cands, 5, false, 1);
+        assert_eq!(index.len(), 20);
+        for (_, postings) in index.iter() {
+            assert_eq!(postings.len(), 5);
+            for w in postings.windows(2) {
+                assert!(w[0].1 <= w[1].1, "postings must be sorted by distance");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_neighbour_of_a_key_present_in_candidates_is_itself() {
+        let set = random_set(30, 3);
+        let index = build_exact_index(&set, &set, 3, false, 1);
+        for i in 0..set.len() {
+            let id = set.id(i);
+            let postings = index.get(id).unwrap();
+            assert_eq!(postings[0].0, id, "self must be the nearest neighbour");
+            assert!(postings[0].1.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exclude_same_id_removes_self_matches() {
+        let set = random_set(30, 4);
+        let index = build_exact_index(&set, &set, 3, true, 1);
+        for i in 0..set.len() {
+            let id = set.id(i);
+            assert!(index.get(id).unwrap().iter().all(|(c, _)| *c != id));
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_results_agree() {
+        let keys = random_set(40, 5);
+        let cands = random_set(80, 6);
+        let seq = build_exact_index(&keys, &cands, 4, false, 1);
+        let par = build_exact_index(&keys, &cands, 4, false, 4);
+        assert_eq!(seq.len(), par.len());
+        for (key, postings) in seq.iter() {
+            let other = par.get(*key).unwrap();
+            assert_eq!(postings.len(), other.len());
+            for (a, b) in postings.iter().zip(other) {
+                assert_eq!(a.0, b.0);
+                assert!((a.1 - b.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_index() {
+        let keys = random_set(0, 7);
+        let cands = random_set(10, 8);
+        assert!(build_exact_index(&keys, &cands, 3, false, 2).is_empty());
+        assert!(build_exact_index(&cands, &keys, 3, false, 2).is_empty());
+        assert!(build_exact_index(&cands, &cands, 0, false, 2).is_empty());
+    }
+
+    #[test]
+    fn topk_keeps_the_smallest_distances() {
+        let mut topk = TopK::new(2);
+        topk.push(3.0, 1);
+        topk.push(1.0, 2);
+        topk.push(2.0, 3);
+        topk.push(0.5, 4);
+        let sorted = topk.into_sorted();
+        assert_eq!(sorted.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![4, 2]);
+    }
+}

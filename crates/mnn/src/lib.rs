@@ -1,0 +1,21 @@
+//! # amcad-mnn
+//!
+//! Mixed-curvature (approximate) nearest-neighbour search — the MNN module
+//! of the paper (Section IV-C.1) that turns trained embeddings into the
+//! inverted indices used by online ad retrieval.
+//!
+//! * [`MixedPointSet`] — flat storage of points of one edge space plus their
+//!   precomputed attention weights,
+//! * [`build_exact_index`] — multi-threaded exact top-K scan (the paper's
+//!   OpenMP + SIMD parallel brute force),
+//! * [`IvfIndex`] — an inverted-file approximate index whose coarse
+//!   quantiser lives in the shared tangent space, with recall measurement
+//!   against the exact index ([`recall_at_k`]).
+
+pub mod brute;
+pub mod ivf;
+pub mod points;
+
+pub use brute::{build_exact_index, InvertedIndex, Postings};
+pub use ivf::{recall_at_k, IvfConfig, IvfIndex};
+pub use points::MixedPointSet;

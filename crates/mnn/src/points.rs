@@ -1,0 +1,173 @@
+//! Storage for mixed-curvature points with precomputed attention weights.
+//!
+//! The MNN index builder works on flat, cache-friendly buffers: all points
+//! of one edge space are stored contiguously (`n × total_dim`) together with
+//! their per-subspace attention weights (`n × M`).  The inner distance loop
+//! is written over slices so the compiler can auto-vectorise it — the
+//! stand-in for the SIMD instruction-level parallelism of the paper's MNN
+//! workers.
+
+use amcad_manifold::ProductManifold;
+
+/// A set of points of one mixed-curvature (edge) space, with per-point
+/// attention weights.
+#[derive(Debug, Clone)]
+pub struct MixedPointSet {
+    manifold: ProductManifold,
+    ids: Vec<u32>,
+    points: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl MixedPointSet {
+    /// Create an empty set over the given manifold.
+    pub fn new(manifold: ProductManifold) -> Self {
+        MixedPointSet {
+            manifold,
+            ids: Vec::new(),
+            points: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// The manifold of this point set.
+    pub fn manifold(&self) -> &ProductManifold {
+        &self.manifold
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Add a point.  `point` must have the manifold's total dimension and
+    /// `weight` one entry per subspace.
+    pub fn push(&mut self, id: u32, point: &[f64], weight: &[f64]) {
+        assert_eq!(point.len(), self.manifold.total_dim(), "point dimension mismatch");
+        assert_eq!(
+            weight.len(),
+            self.manifold.num_subspaces(),
+            "weight length mismatch"
+        );
+        self.ids.push(id);
+        self.points.extend_from_slice(point);
+        self.weights.extend_from_slice(weight);
+    }
+
+    /// External id of the `i`-th point.
+    #[inline]
+    pub fn id(&self, i: usize) -> u32 {
+        self.ids[i]
+    }
+
+    /// All ids in insertion order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Coordinates of the `i`-th point.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        let d = self.manifold.total_dim();
+        &self.points[i * d..(i + 1) * d]
+    }
+
+    /// Attention weights of the `i`-th point.
+    #[inline]
+    pub fn weight(&self, i: usize) -> &[f64] {
+        let m = self.manifold.num_subspaces();
+        &self.weights[i * m..(i + 1) * m]
+    }
+
+    /// Index of the point with external id `id`, if present (linear scan —
+    /// only used by tests and small lookups).
+    pub fn index_of(&self, id: u32) -> Option<usize> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// Attention-weighted mixed-curvature distance between point `i` of this
+    /// set and point `j` of `other` (both sets must share the manifold).
+    #[inline]
+    pub fn distance_between(&self, i: usize, other: &MixedPointSet, j: usize) -> f64 {
+        debug_assert_eq!(self.manifold.total_dim(), other.manifold.total_dim());
+        let w: Vec<f64> = self
+            .weight(i)
+            .iter()
+            .zip(other.weight(j))
+            .map(|(a, b)| a + b)
+            .collect();
+        self.manifold
+            .weighted_distance(self.point(i), other.point(j), &w)
+    }
+
+    /// Distance of an external query point (with weights) to point `j`.
+    #[inline]
+    pub fn distance_to(&self, query: &[f64], query_weight: &[f64], j: usize) -> f64 {
+        let w: Vec<f64> = query_weight
+            .iter()
+            .zip(self.weight(j))
+            .map(|(a, b)| a + b)
+            .collect();
+        self.manifold.weighted_distance(query, self.point(j), &w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amcad_manifold::SubspaceSpec;
+
+    fn sample_set() -> MixedPointSet {
+        let manifold =
+            ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
+        let mut set = MixedPointSet::new(manifold.clone());
+        set.push(10, &manifold.exp0(&[0.1, 0.0, 0.1, 0.0]), &[0.5, 0.5]);
+        set.push(20, &manifold.exp0(&[0.0, 0.2, 0.0, 0.2]), &[0.7, 0.3]);
+        set.push(30, &manifold.exp0(&[0.3, 0.3, -0.2, 0.1]), &[0.2, 0.8]);
+        set
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let set = sample_set();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert_eq!(set.id(1), 20);
+        assert_eq!(set.ids(), &[10, 20, 30]);
+        assert_eq!(set.point(0).len(), 4);
+        assert_eq!(set.weight(2), &[0.2, 0.8]);
+        assert_eq!(set.index_of(30), Some(2));
+        assert_eq!(set.index_of(99), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dimension_panics() {
+        let mut set = sample_set();
+        set.push(40, &[0.0, 0.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_identical_points() {
+        let set = sample_set();
+        let d01 = set.distance_between(0, &set, 1);
+        let d10 = set.distance_between(1, &set, 0);
+        assert!((d01 - d10).abs() < 1e-12);
+        assert!(set.distance_between(0, &set, 0).abs() < 1e-12);
+        assert!(d01 > 0.0);
+    }
+
+    #[test]
+    fn distance_to_external_query_matches_member_distance() {
+        let set = sample_set();
+        let q = set.point(1).to_vec();
+        let w = set.weight(1).to_vec();
+        let d = set.distance_to(&q, &w, 0);
+        assert!((d - set.distance_between(1, &set, 0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Exporting trained embeddings for index construction and evaluation.
+//!
+//! Online serving never runs the model: the paper precomputes, for every
+//! node, its projection into each edge-level mixed-curvature space together
+//! with its node-level attention weights, and ships them to the MNN index
+//! builder (Section IV-C.1; the weights "can be pre-calculated before
+//! performing MNN retrieval").  [`ModelExport`] is exactly that artefact:
+//! per relation kind a [`RelationSpace`] holding projected points, attention
+//! weights and the edge-space product manifold, plus the raw node-level
+//! embeddings used for the Fig. 7 visualisation.
+
+use std::collections::HashMap;
+
+use amcad_graph::{HeteroGraph, NodeId, NodeType};
+use amcad_manifold::{ProductManifold, SubspaceSpec};
+
+use crate::model::AmcadModel;
+use crate::relation::RelationKind;
+
+/// Anything that can score a (source, target) node pair — implemented by the
+/// AMCAD export and by the walk-based baselines so the evaluation harness
+/// can treat them uniformly.  Higher scores mean "more related".
+pub trait PairScorer {
+    /// Relatedness score of the pair (higher = more related).
+    fn score_pair(&self, src: NodeId, dst: NodeId) -> f64;
+
+    /// Name used in experiment reports.
+    fn scorer_name(&self) -> &str;
+}
+
+/// Projected embeddings and precomputed attention weights of one edge-level
+/// mixed-curvature space.
+#[derive(Debug, Clone)]
+pub struct RelationSpace {
+    /// Which relation this space serves.
+    pub kind: RelationKind,
+    /// The edge-space product manifold (curvatures κ_{m,r}).
+    pub manifold: ProductManifold,
+    /// Projected point per node (concatenated subspace coordinates).
+    pub points: HashMap<NodeId, Vec<f64>>,
+    /// Node-level attention weights `w'(x)` per node (length M).
+    pub weights: HashMap<NodeId, Vec<f64>>,
+}
+
+impl RelationSpace {
+    /// Attention-weighted mixed-curvature distance between two nodes of this
+    /// space (Eq. 14 with `w = w'(x) + w'(y)`); `None` if either node is not
+    /// present.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let pa = self.points.get(&a)?;
+        let pb = self.points.get(&b)?;
+        let wa = self.weights.get(&a)?;
+        let wb = self.weights.get(&b)?;
+        let w: Vec<f64> = wa.iter().zip(wb).map(|(x, y)| x + y).collect();
+        Some(self.manifold.weighted_distance(pa, pb, &w))
+    }
+
+    /// Number of nodes exported into this space.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Node-level embeddings of one node type (used for visualisation and
+/// reporting what space each subspace converged to).
+#[derive(Debug, Clone)]
+pub struct NodeLevelSpace {
+    /// The node-level product manifold for this node type (curvatures
+    /// κ_{m,t}).
+    pub manifold: ProductManifold,
+    /// Concatenated subspace coordinates per node.
+    pub points: HashMap<NodeId, Vec<f64>>,
+}
+
+/// The full export of a trained model.
+#[derive(Debug, Clone)]
+pub struct ModelExport {
+    /// Model name (copied from the configuration).
+    pub name: String,
+    /// One projected space per relation kind.
+    pub spaces: HashMap<RelationKind, RelationSpace>,
+    /// Node-level embeddings per node type.
+    pub node_level: HashMap<NodeType, NodeLevelSpace>,
+    /// Node type per node id (for dispatching pairs to relation spaces).
+    pub node_types: Vec<NodeType>,
+}
+
+impl ModelExport {
+    /// The relation space serving a (src, dst) node-type pair.
+    pub fn space_for(&self, src: NodeId, dst: NodeId) -> Option<&RelationSpace> {
+        let ts = *self.node_types.get(src.index())?;
+        let td = *self.node_types.get(dst.index())?;
+        let kind = RelationKind::between(ts, td)?;
+        self.spaces.get(&kind)
+    }
+
+    /// Mixed-curvature distance between two nodes (dispatched by node type).
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        self.space_for(src, dst)?.distance(src, dst)
+    }
+}
+
+impl PairScorer for ModelExport {
+    fn score_pair(&self, src: NodeId, dst: NodeId) -> f64 {
+        match self.distance(src, dst) {
+            Some(d) => -d,
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    fn scorer_name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl AmcadModel {
+    /// Export projected embeddings and attention weights for every node and
+    /// every relation space, plus node-level embeddings per type.
+    ///
+    /// `seed` controls the GCN neighbour sampling used during the forward
+    /// pass (export is deterministic given the seed).
+    pub fn export(&mut self, graph: &HeteroGraph, seed: u64) -> ModelExport {
+        let m_count = self.config().num_subspaces();
+        let d = self.config().subspace_dim();
+        let name = self.config().name.clone();
+
+        // Edge-space manifolds from the trained curvatures.
+        let mut spaces: HashMap<RelationKind, RelationSpace> = RelationKind::ALL
+            .iter()
+            .map(|&kind| {
+                let specs: Vec<SubspaceSpec> = (0..m_count)
+                    .map(|m| SubspaceSpec::new(d, self.edge_kappa(m, kind)))
+                    .collect();
+                (
+                    kind,
+                    RelationSpace {
+                        kind,
+                        manifold: ProductManifold::new(specs),
+                        points: HashMap::new(),
+                        weights: HashMap::new(),
+                    },
+                )
+            })
+            .collect();
+
+        // Node-level manifolds per type.
+        let mut node_level: HashMap<NodeType, NodeLevelSpace> = NodeType::ALL
+            .iter()
+            .map(|&t| {
+                let specs: Vec<SubspaceSpec> = (0..m_count)
+                    .map(|m| SubspaceSpec::new(d, self.node_kappa(m, t)))
+                    .collect();
+                (
+                    t,
+                    NodeLevelSpace {
+                        manifold: ProductManifold::new(specs),
+                        points: HashMap::new(),
+                    },
+                )
+            })
+            .collect();
+
+        let node_types: Vec<NodeType> = graph.all_nodes().map(|n| graph.node_type(n)).collect();
+
+        // Which relation spaces each node type participates in.
+        let kinds_for = |t: NodeType| -> Vec<RelationKind> {
+            RelationKind::ALL
+                .iter()
+                .copied()
+                .filter(|k| {
+                    let (a, b) = k.node_types();
+                    a == t || b == t
+                })
+                .collect()
+        };
+
+        for node in graph.all_nodes() {
+            let t = graph.node_type(node);
+            let mut ctx = self.begin_batch(seed ^ (node.0 as u64).wrapping_mul(0x517c_c1b7));
+            let encoded = self.encode_node(&mut ctx, graph, node);
+
+            // node-level concatenated coordinates
+            let mut node_coords = Vec::with_capacity(m_count * d);
+            for &p in &encoded.subspaces {
+                node_coords.extend_from_slice(&ctx.tape.value(p).data);
+            }
+            node_level
+                .get_mut(&t)
+                .expect("all node types present")
+                .points
+                .insert(node, node_coords);
+
+            // per relevant relation space: projection + attention weights
+            for kind in kinds_for(t) {
+                let projected = self.project_to_edge_space(&mut ctx, &encoded, kind);
+                let weights_var = self.attention_weights(&mut ctx, t, &projected);
+                let mut coords = Vec::with_capacity(m_count * d);
+                for &p in &projected {
+                    coords.extend_from_slice(&ctx.tape.value(p).data);
+                }
+                let weights = ctx.tape.value(weights_var).data.clone();
+                let space = spaces.get_mut(&kind).expect("all kinds present");
+                space.points.insert(node, coords);
+                space.weights.insert(node, weights);
+            }
+        }
+
+        ModelExport {
+            name,
+            spaces,
+            node_level,
+            node_types,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AmcadConfig;
+    use amcad_datagen::{Dataset, WorldConfig};
+
+    fn exported() -> (Dataset, ModelExport) {
+        let d = Dataset::generate(&WorldConfig::tiny(21));
+        let mut model = AmcadModel::new(AmcadConfig::test_tiny(5), &d.graph);
+        let export = model.export(&d.graph, 3);
+        (d, export)
+    }
+
+    #[test]
+    fn export_covers_every_node_in_its_relation_spaces() {
+        let (d, export) = exported();
+        let qq = &export.spaces[&RelationKind::QueryQuery];
+        assert_eq!(qq.len(), d.query_nodes.len());
+        let qi = &export.spaces[&RelationKind::QueryItem];
+        assert_eq!(qi.len(), d.query_nodes.len() + d.item_nodes.len());
+        let ia = &export.spaces[&RelationKind::ItemAd];
+        assert_eq!(ia.len(), d.item_nodes.len() + d.ad_nodes.len());
+        assert!(!qq.is_empty());
+    }
+
+    #[test]
+    fn attention_weights_are_a_distribution() {
+        let (_d, export) = exported();
+        for space in export.spaces.values() {
+            for w in space.weights.values() {
+                let sum: f64 = w.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "weights must sum to 1: {w:?}");
+                assert!(w.iter().all(|x| *x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_finite_symmetric_and_zero_on_self() {
+        let (d, export) = exported();
+        let q = d.query_nodes[0];
+        let i = d.item_nodes[0];
+        let dist = export.distance(q, i).unwrap();
+        let dist_rev = export.distance(i, q).unwrap();
+        assert!(dist.is_finite() && dist >= 0.0);
+        assert!((dist - dist_rev).abs() < 1e-9);
+        assert!(export.distance(q, q).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_scorer_orders_by_negative_distance() {
+        let (d, export) = exported();
+        let q = d.query_nodes[0];
+        let i0 = d.item_nodes[0];
+        let i1 = d.item_nodes[1];
+        let s0 = export.score_pair(q, i0);
+        let s1 = export.score_pair(q, i1);
+        let d0 = export.distance(q, i0).unwrap();
+        let d1 = export.distance(q, i1).unwrap();
+        assert_eq!(s0 > s1, d0 < d1);
+        assert_eq!(export.scorer_name(), "AMCAD (test)");
+    }
+
+    #[test]
+    fn ad_ad_pairs_have_no_space() {
+        let (d, export) = exported();
+        assert!(export.distance(d.ad_nodes[0], d.ad_nodes[1]).is_none());
+        assert_eq!(export.score_pair(d.ad_nodes[0], d.ad_nodes[1]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn node_level_export_has_per_type_manifolds() {
+        let (d, export) = exported();
+        for t in NodeType::ALL {
+            let space = &export.node_level[&t];
+            assert_eq!(space.manifold.num_subspaces(), 2);
+            assert!(!space.points.is_empty());
+        }
+        let q_space = &export.node_level[&NodeType::Query];
+        assert_eq!(q_space.points.len(), d.query_nodes.len());
+        for p in q_space.points.values() {
+            assert_eq!(p.len(), q_space.manifold.total_dim());
+            assert!(p.iter().all(|x| x.is_finite()));
+        }
+    }
+}

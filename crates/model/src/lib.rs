@@ -1,0 +1,35 @@
+//! # amcad-model
+//!
+//! The adaptive mixed-curvature representation model of AMCAD (ICDE 2022)
+//! and the baselines it is compared against.
+//!
+//! * [`AmcadConfig`] — one configuration family covering the full model,
+//!   every restricted variant (Euclidean / hyperbolic / spherical / unified
+//!   single spaces, fixed-curvature product spaces) and every ablation of
+//!   the paper (`- mixed`, `- curv`, `- fusion`, `- proj`, `- comb`).
+//! * [`AmcadModel`] — node-level adaptive mixed-curvature encoder
+//!   (inductive features → GCN context encoding → space fusion), edge-level
+//!   scorer (edge-space projection + attentive subspace-distance
+//!   combination), triplet loss with Fermi–Dirac similarity and curved-space
+//!   regularisation.
+//! * [`Trainer`] — minibatch AdaGrad training, incremental day-over-day
+//!   training.
+//! * [`ModelExport`] — projected embeddings plus precomputed attention
+//!   weights per edge space, the artefact consumed by the MNN index builder
+//!   and the online retrieval layer.
+//! * [`baselines`] — DeepWalk / LINE / Node2Vec / Metapath2Vec via a shared
+//!   skip-gram-with-negative-sampling trainer.
+
+pub mod baselines;
+pub mod config;
+pub mod export;
+pub mod model;
+pub mod relation;
+pub mod trainer;
+
+pub use baselines::{SgnsConfig, SgnsModel, WalkStrategy};
+pub use config::{AmcadConfig, LossConfig, SubspaceCfg};
+pub use export::{ModelExport, NodeLevelSpace, PairScorer, RelationSpace};
+pub use model::{AmcadModel, Ctx, EncodedNode, StepStats};
+pub use relation::RelationKind;
+pub use trainer::{TrainReport, Trainer, TrainerConfig};

@@ -1,0 +1,126 @@
+//! Edge-space kinds for the heterogeneous edge-level scorer.
+//!
+//! The edge-level scorer projects node embeddings into an *edge-wise*
+//! mixed-curvature space chosen by the relation between the two node types
+//! (Eq. 9).  Online serving builds six inverted indices (Q2Q, Q2I, I2Q, I2I,
+//! Q2A, I2A — Section IV-C.1); index pairs that swap source and target share
+//! the same edge space, so five spaces suffice.
+
+use amcad_graph::NodeType;
+
+/// The five heterogeneous edge spaces used by the scorer and the serving
+/// indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationKind {
+    /// Query–query relations (Q2Q index).
+    QueryQuery,
+    /// Query–item relations (Q2I and I2Q indices).
+    QueryItem,
+    /// Query–ad relations (Q2A index).
+    QueryAd,
+    /// Item–item relations (I2I index).
+    ItemItem,
+    /// Item–ad relations (I2A index).
+    ItemAd,
+}
+
+impl RelationKind {
+    /// All edge spaces, in a stable order.
+    pub const ALL: [RelationKind; 5] = [
+        RelationKind::QueryQuery,
+        RelationKind::QueryItem,
+        RelationKind::QueryAd,
+        RelationKind::ItemItem,
+        RelationKind::ItemAd,
+    ];
+
+    /// Stable small index for array-indexed per-relation parameters.
+    pub fn index(self) -> usize {
+        match self {
+            RelationKind::QueryQuery => 0,
+            RelationKind::QueryItem => 1,
+            RelationKind::QueryAd => 2,
+            RelationKind::ItemItem => 3,
+            RelationKind::ItemAd => 4,
+        }
+    }
+
+    /// The edge space connecting two node types, if the pair is served by
+    /// the system (ad–ad and ad–query-source pairs are not used online).
+    pub fn between(a: NodeType, b: NodeType) -> Option<RelationKind> {
+        use NodeType::*;
+        match (a, b) {
+            (Query, Query) => Some(RelationKind::QueryQuery),
+            (Query, Item) | (Item, Query) => Some(RelationKind::QueryItem),
+            (Query, Ad) | (Ad, Query) => Some(RelationKind::QueryAd),
+            (Item, Item) => Some(RelationKind::ItemItem),
+            (Item, Ad) | (Ad, Item) => Some(RelationKind::ItemAd),
+            (Ad, Ad) => None,
+        }
+    }
+
+    /// Short name used in reports ("Q2Q", "Q2I", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            RelationKind::QueryQuery => "Q2Q",
+            RelationKind::QueryItem => "Q2I",
+            RelationKind::QueryAd => "Q2A",
+            RelationKind::ItemItem => "I2I",
+            RelationKind::ItemAd => "I2A",
+        }
+    }
+
+    /// The node types participating in this edge space.
+    pub fn node_types(self) -> (NodeType, NodeType) {
+        use NodeType::*;
+        match self {
+            RelationKind::QueryQuery => (Query, Query),
+            RelationKind::QueryItem => (Query, Item),
+            RelationKind::QueryAd => (Query, Ad),
+            RelationKind::ItemItem => (Item, Item),
+            RelationKind::ItemAd => (Item, Ad),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_is_symmetric_and_total_except_ad_ad() {
+        use NodeType::*;
+        for a in NodeType::ALL {
+            for b in NodeType::ALL {
+                let ab = RelationKind::between(a, b);
+                let ba = RelationKind::between(b, a);
+                assert_eq!(ab, ba);
+                if a == Ad && b == Ad {
+                    assert!(ab.is_none());
+                } else {
+                    assert!(ab.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_distinct_and_dense() {
+        let mut seen = [false; 5];
+        for r in RelationKind::ALL {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn names_match_the_papers_index_names() {
+        assert_eq!(RelationKind::QueryQuery.name(), "Q2Q");
+        assert_eq!(RelationKind::ItemAd.name(), "I2A");
+        assert_eq!(
+            RelationKind::between(NodeType::Item, NodeType::Query).unwrap().name(),
+            "Q2I"
+        );
+    }
+}

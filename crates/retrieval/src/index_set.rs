@@ -1,0 +1,160 @@
+//! The six inverted indices used by online ad retrieval (Section IV-C.1).
+//!
+//! The paper builds Q2Q, Q2I, I2Q, I2I, Q2A and I2A indices offline with the
+//! MNN module and ships them to the serving engine.  [`IndexSet`] holds the
+//! six indices; [`IndexBuildInputs`] carries the per-edge-space point sets
+//! (queries / items / ads projected into the Q-Q, Q-I, Q-A, I-I and I-A
+//! spaces with their precomputed attention weights).
+
+use amcad_mnn::{build_exact_index, InvertedIndex, MixedPointSet};
+
+/// Point sets needed to build all six indices.  Indices that swap key and
+/// candidate (Q2I / I2Q) share the same underlying edge space, so queries
+/// and items each appear once per space.
+#[derive(Debug, Clone)]
+pub struct IndexBuildInputs {
+    /// Queries projected into the Q-Q edge space.
+    pub queries_qq: MixedPointSet,
+    /// Queries projected into the Q-I edge space.
+    pub queries_qi: MixedPointSet,
+    /// Items projected into the Q-I edge space.
+    pub items_qi: MixedPointSet,
+    /// Queries projected into the Q-A edge space.
+    pub queries_qa: MixedPointSet,
+    /// Ads projected into the Q-A edge space.
+    pub ads_qa: MixedPointSet,
+    /// Items projected into the I-I edge space.
+    pub items_ii: MixedPointSet,
+    /// Items projected into the I-A edge space.
+    pub items_ia: MixedPointSet,
+    /// Ads projected into the I-A edge space.
+    pub ads_ia: MixedPointSet,
+}
+
+/// Configuration of offline index construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexBuildConfig {
+    /// Posting-list length (nearest K kept per key).
+    pub top_k: usize,
+    /// Worker threads for the exact scan.
+    pub threads: usize,
+}
+
+impl Default for IndexBuildConfig {
+    fn default() -> Self {
+        IndexBuildConfig { top_k: 20, threads: 4 }
+    }
+}
+
+/// The six inverted indices of the two-layer online retrieval system.
+#[derive(Debug, Clone)]
+pub struct IndexSet {
+    /// Query → related queries.
+    pub q2q: InvertedIndex,
+    /// Query → related items.
+    pub q2i: InvertedIndex,
+    /// Item → related queries.
+    pub i2q: InvertedIndex,
+    /// Item → related items.
+    pub i2i: InvertedIndex,
+    /// Query → candidate ads.
+    pub q2a: InvertedIndex,
+    /// Item → candidate ads.
+    pub i2a: InvertedIndex,
+}
+
+impl IndexSet {
+    /// Build all six indices with the exact multi-threaded MNN scan.
+    pub fn build(inputs: &IndexBuildInputs, config: IndexBuildConfig) -> IndexSet {
+        let k = config.top_k;
+        let t = config.threads;
+        IndexSet {
+            q2q: build_exact_index(&inputs.queries_qq, &inputs.queries_qq, k, true, t),
+            q2i: build_exact_index(&inputs.queries_qi, &inputs.items_qi, k, false, t),
+            i2q: build_exact_index(&inputs.items_qi, &inputs.queries_qi, k, false, t),
+            i2i: build_exact_index(&inputs.items_ii, &inputs.items_ii, k, true, t),
+            q2a: build_exact_index(&inputs.queries_qa, &inputs.ads_qa, k, false, t),
+            i2a: build_exact_index(&inputs.items_ia, &inputs.ads_ia, k, false, t),
+        }
+    }
+
+    /// Total number of posting lists across the six indices.
+    pub fn total_keys(&self) -> usize {
+        self.q2q.len() + self.q2i.len() + self.i2q.len() + self.i2i.len() + self.q2a.len() + self.i2a.len()
+    }
+
+    /// Total number of postings across the six indices.
+    pub fn total_postings(&self) -> usize {
+        [&self.q2q, &self.q2i, &self.i2q, &self.i2i, &self.q2a, &self.i2a]
+            .iter()
+            .map(|idx| idx.iter().map(|(_, p)| p.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amcad_manifold::{ProductManifold, SubspaceSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(ids: std::ops::Range<u32>, seed: u64) -> MixedPointSet {
+        let manifold = ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
+        let mut set = MixedPointSet::new(manifold.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in ids {
+            let tangent: Vec<f64> = (0..4).map(|_| rng.gen_range(-0.3..0.3)).collect();
+            set.push(id, &manifold.exp0(&tangent), &[0.5, 0.5]);
+        }
+        set
+    }
+
+    pub(crate) fn tiny_inputs() -> IndexBuildInputs {
+        IndexBuildInputs {
+            queries_qq: random_points(0..10, 1),
+            queries_qi: random_points(0..10, 2),
+            items_qi: random_points(100..140, 3),
+            queries_qa: random_points(0..10, 4),
+            ads_qa: random_points(200..220, 5),
+            items_ii: random_points(100..140, 6),
+            items_ia: random_points(100..140, 7),
+            ads_ia: random_points(200..220, 8),
+        }
+    }
+
+    #[test]
+    fn build_produces_all_six_indices_with_expected_key_counts() {
+        let set = IndexSet::build(&tiny_inputs(), IndexBuildConfig { top_k: 5, threads: 2 });
+        assert_eq!(set.q2q.len(), 10);
+        assert_eq!(set.q2i.len(), 10);
+        assert_eq!(set.i2q.len(), 40);
+        assert_eq!(set.i2i.len(), 40);
+        assert_eq!(set.q2a.len(), 10);
+        assert_eq!(set.i2a.len(), 40);
+        assert_eq!(set.total_keys(), 150);
+        assert!(set.total_postings() > 0);
+    }
+
+    #[test]
+    fn self_indices_exclude_the_key_itself() {
+        let set = IndexSet::build(&tiny_inputs(), IndexBuildConfig { top_k: 5, threads: 1 });
+        for (key, postings) in set.q2q.iter() {
+            assert!(postings.iter().all(|(c, _)| c != key));
+        }
+        for (key, postings) in set.i2i.iter() {
+            assert!(postings.iter().all(|(c, _)| c != key));
+        }
+    }
+
+    #[test]
+    fn cross_indices_point_at_the_candidate_id_range() {
+        let set = IndexSet::build(&tiny_inputs(), IndexBuildConfig { top_k: 5, threads: 1 });
+        for (_, postings) in set.q2a.iter() {
+            assert!(postings.iter().all(|(c, _)| (200..220).contains(c)));
+        }
+        for (_, postings) in set.q2i.iter() {
+            assert!(postings.iter().all(|(c, _)| (100..140).contains(c)));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # amcad-retrieval
+//!
+//! The two-layer online advertisement retrieval framework of AMCAD
+//! (Section IV-C) and a serving-load simulator.
+//!
+//! * [`IndexSet`] — the six inverted indices (Q2Q, Q2I, I2Q, I2I, Q2A, I2A)
+//!   built offline with the MNN module,
+//! * [`TwoLayerRetriever`] — layer 1 expands the raw query and pre-click
+//!   items into related queries/items, layer 2 retrieves and merges ads,
+//! * [`ServingSimulator`] — an open-loop load generator measuring response
+//!   time versus offered QPS (Fig. 9).
+
+pub mod index_set;
+pub mod retriever;
+pub mod serving;
+
+pub use index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
+pub use retriever::{RetrievalConfig, RetrievedAd, TwoLayerRetriever};
+pub use serving::{LoadReport, Request, ServingConfig, ServingSimulator};

@@ -1,0 +1,257 @@
+//! The two-layer online ad retrieval framework (Section IV-C.2).
+//!
+//! An online request carries the posed query and the user's recently clicked
+//! items.  Layer 1 expands these raw keys into a richer key set through the
+//! Q2Q / Q2I / I2Q / I2I indices; layer 2 retrieves ads for every key
+//! through Q2A / I2A and merges the scores.  The paper's motivation for the
+//! extra layer is traffic coverage: rewriting the query into several related
+//! queries and items lets the system serve requests whose raw query has a
+//! thin (or empty) Q2A posting list.
+
+use std::collections::HashMap;
+
+use crate::index_set::IndexSet;
+
+/// Configuration of the two-layer retrieval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrievalConfig {
+    /// Expanded keys kept per first-layer index lookup.
+    pub expansion_per_index: usize,
+    /// Ads kept per second-layer key lookup.
+    pub ads_per_key: usize,
+    /// Final number of ads returned.
+    pub final_top_n: usize,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            expansion_per_index: 5,
+            ads_per_key: 10,
+            final_top_n: 20,
+        }
+    }
+}
+
+/// An expanded retrieval key: either a query node or an item node, with the
+/// weight it contributes to ads retrieved through it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Key {
+    Query(u32, f64),
+    Item(u32, f64),
+}
+
+/// A retrieved ad with its merged score (higher = better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrievedAd {
+    /// Ad node id.
+    pub ad: u32,
+    /// Merged retrieval score.
+    pub score: f64,
+}
+
+/// The two-layer retriever over a built [`IndexSet`].
+#[derive(Debug, Clone)]
+pub struct TwoLayerRetriever {
+    indexes: IndexSet,
+    config: RetrievalConfig,
+}
+
+/// Convert a mixed-curvature distance into a bounded similarity score.
+#[inline]
+fn distance_to_score(distance: f64) -> f64 {
+    1.0 / (1.0 + distance.max(0.0))
+}
+
+impl TwoLayerRetriever {
+    /// Create a retriever.
+    pub fn new(indexes: IndexSet, config: RetrievalConfig) -> Self {
+        TwoLayerRetriever { indexes, config }
+    }
+
+    /// The retrieval configuration.
+    pub fn config(&self) -> &RetrievalConfig {
+        &self.config
+    }
+
+    /// The underlying index set.
+    pub fn indexes(&self) -> &IndexSet {
+        &self.indexes
+    }
+
+    /// First layer: expand the raw query and pre-click items into a weighted
+    /// key set.
+    fn expand_keys(&self, query: u32, preclick_items: &[u32]) -> Vec<Key> {
+        let k = self.config.expansion_per_index;
+        let mut keys: Vec<Key> = Vec::new();
+        // the raw query itself carries full weight
+        keys.push(Key::Query(query, 1.0));
+        if let Some(postings) = self.indexes.q2q.get(query) {
+            for (q, d) in postings.iter().take(k) {
+                keys.push(Key::Query(*q, distance_to_score(*d)));
+            }
+        }
+        if let Some(postings) = self.indexes.q2i.get(query) {
+            for (i, d) in postings.iter().take(k) {
+                keys.push(Key::Item(*i, distance_to_score(*d)));
+            }
+        }
+        for &item in preclick_items {
+            keys.push(Key::Item(item, 1.0));
+            if let Some(postings) = self.indexes.i2q.get(item) {
+                for (q, d) in postings.iter().take(k) {
+                    keys.push(Key::Query(*q, 0.8 * distance_to_score(*d)));
+                }
+            }
+            if let Some(postings) = self.indexes.i2i.get(item) {
+                for (i, d) in postings.iter().take(k) {
+                    keys.push(Key::Item(*i, 0.8 * distance_to_score(*d)));
+                }
+            }
+        }
+        keys
+    }
+
+    /// Second layer: retrieve ads for every key and merge the scores (the
+    /// score of an ad reached through several keys is the maximum of its
+    /// per-key scores — rewriting should not double-count popularity).
+    fn retrieve_ads(&self, keys: &[Key]) -> Vec<RetrievedAd> {
+        let per_key = self.config.ads_per_key;
+        let mut merged: HashMap<u32, f64> = HashMap::new();
+        for key in keys {
+            let (postings, weight) = match key {
+                Key::Query(q, w) => (self.indexes.q2a.get(*q), *w),
+                Key::Item(i, w) => (self.indexes.i2a.get(*i), *w),
+            };
+            let Some(postings) = postings else { continue };
+            for (ad, d) in postings.iter().take(per_key) {
+                let score = weight * distance_to_score(*d);
+                let entry = merged.entry(*ad).or_insert(f64::NEG_INFINITY);
+                if score > *entry {
+                    *entry = score;
+                }
+            }
+        }
+        let mut ads: Vec<RetrievedAd> = merged
+            .into_iter()
+            .map(|(ad, score)| RetrievedAd { ad, score })
+            .collect();
+        ads.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.ad.cmp(&b.ad)));
+        ads.truncate(self.config.final_top_n);
+        ads
+    }
+
+    /// Serve one request: query + pre-click items → ranked ads.
+    pub fn retrieve(&self, query: u32, preclick_items: &[u32]) -> Vec<RetrievedAd> {
+        let keys = self.expand_keys(query, preclick_items);
+        self.retrieve_ads(&keys)
+    }
+
+    /// Single-layer baseline: retrieve ads using only the raw query's Q2A
+    /// posting list (what a conventional embedding-based retrieval channel
+    /// would do).  Used to quantify the coverage gain of the second layer.
+    pub fn retrieve_single_layer(&self, query: u32) -> Vec<RetrievedAd> {
+        let mut ads: Vec<RetrievedAd> = self
+            .indexes
+            .q2a
+            .get(query)
+            .map(|postings| {
+                postings
+                    .iter()
+                    .take(self.config.final_top_n)
+                    .map(|(ad, d)| RetrievedAd {
+                        ad: *ad,
+                        score: distance_to_score(*d),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ads.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.ad.cmp(&b.ad)));
+        ads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
+    use amcad_manifold::{ProductManifold, SubspaceSpec};
+    use amcad_mnn::MixedPointSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(ids: std::ops::Range<u32>, seed: u64) -> MixedPointSet {
+        let manifold = ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
+        let mut set = MixedPointSet::new(manifold.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in ids {
+            let tangent: Vec<f64> = (0..4).map(|_| rng.gen_range(-0.3..0.3)).collect();
+            set.push(id, &manifold.exp0(&tangent), &[0.5, 0.5]);
+        }
+        set
+    }
+
+    fn retriever() -> TwoLayerRetriever {
+        let inputs = IndexBuildInputs {
+            queries_qq: random_points(0..10, 1),
+            queries_qi: random_points(0..10, 2),
+            items_qi: random_points(100..140, 3),
+            queries_qa: random_points(0..10, 4),
+            ads_qa: random_points(200..220, 5),
+            items_ii: random_points(100..140, 6),
+            items_ia: random_points(100..140, 7),
+            ads_ia: random_points(200..220, 8),
+        };
+        let indexes = IndexSet::build(&inputs, IndexBuildConfig { top_k: 8, threads: 1 });
+        TwoLayerRetriever::new(indexes, RetrievalConfig::default())
+    }
+
+    #[test]
+    fn retrieval_returns_ranked_ads_from_the_ad_id_range() {
+        let r = retriever();
+        let ads = r.retrieve(3, &[101, 115]);
+        assert!(!ads.is_empty());
+        assert!(ads.len() <= r.config().final_top_n);
+        for w in ads.windows(2) {
+            assert!(w[0].score >= w[1].score, "ads must be sorted by score");
+        }
+        assert!(ads.iter().all(|a| (200..220).contains(&a.ad)));
+        // no duplicates
+        let mut ids: Vec<u32> = ads.iter().map(|a| a.ad).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ads.len());
+    }
+
+    #[test]
+    fn two_layer_covers_at_least_as_much_as_single_layer() {
+        let r = retriever();
+        for q in 0..10u32 {
+            let single = r.retrieve_single_layer(q);
+            let two = r.retrieve(q, &[100]);
+            assert!(two.len() >= single.len().min(r.config().final_top_n));
+        }
+    }
+
+    #[test]
+    fn unknown_query_without_preclicks_yields_nothing_but_preclicks_recover_coverage() {
+        let r = retriever();
+        let unknown_query = 9999;
+        assert!(r.retrieve(unknown_query, &[]).is_empty());
+        let with_preclick = r.retrieve(unknown_query, &[105]);
+        assert!(
+            !with_preclick.is_empty(),
+            "pre-click items must provide coverage for unseen queries"
+        );
+    }
+
+    #[test]
+    fn scores_are_bounded_and_positive() {
+        let r = retriever();
+        for ad in r.retrieve(1, &[120]) {
+            assert!(ad.score > 0.0 && ad.score <= 1.0 + 1e-12);
+        }
+        assert_eq!(distance_to_score(0.0), 1.0);
+        assert!(distance_to_score(10.0) < 0.1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Online-serving load simulator (Fig. 9 of the paper).
+//!
+//! The paper reports ad-retrieval response time as the offered load grows
+//! from 1K to 50K queries per second on the production iGraph cluster.  The
+//! same *shape* — response time grows slowly with offered QPS until the
+//! worker pool saturates — is reproduced here with an open-loop load
+//! generator: requests arrive on a fixed schedule derived from the offered
+//! QPS, a pool of worker threads serves them from a shared queue, and the
+//! reported latency includes queueing delay (so overload shows up as a steep
+//! latency increase, exactly like the paper's figure).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::queue::SegQueue;
+
+use crate::retriever::TwoLayerRetriever;
+
+/// One simulated online request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Query node id.
+    pub query: u32,
+    /// Recently clicked item node ids.
+    pub preclick_items: Vec<u32>,
+}
+
+/// Latency statistics of one load level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Offered load in requests per second.
+    pub offered_qps: f64,
+    /// Number of requests completed.
+    pub completed: usize,
+    /// Mean response time (including queueing) in milliseconds.
+    pub mean_ms: f64,
+    /// Median response time in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile response time in milliseconds.
+    pub p99_ms: f64,
+    /// Achieved throughput in requests per second.
+    pub achieved_qps: f64,
+}
+
+/// Configuration of the load generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingConfig {
+    /// Number of serving worker threads.
+    pub workers: usize,
+    /// Number of requests issued per load level.
+    pub requests_per_level: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: 4,
+            requests_per_level: 2_000,
+        }
+    }
+}
+
+/// The serving simulator: a worker pool around a [`TwoLayerRetriever`].
+pub struct ServingSimulator<'a> {
+    retriever: &'a TwoLayerRetriever,
+    config: ServingConfig,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+impl<'a> ServingSimulator<'a> {
+    /// Create a simulator around a retriever.
+    pub fn new(retriever: &'a TwoLayerRetriever, config: ServingConfig) -> Self {
+        ServingSimulator { retriever, config }
+    }
+
+    /// Run one load level: issue `requests` (cycled to reach the configured
+    /// request count) at `offered_qps` and measure response times.
+    pub fn run_level(&self, requests: &[Request], offered_qps: f64) -> LoadReport {
+        assert!(!requests.is_empty(), "need at least one request template");
+        assert!(offered_qps > 0.0);
+        let total = self.config.requests_per_level;
+        let workers = self.config.workers.max(1);
+        let interval = Duration::from_secs_f64(1.0 / offered_qps);
+
+        // Work items: (request index, scheduled arrival offset).
+        let queue: Arc<SegQueue<(usize, Duration)>> = Arc::new(SegQueue::new());
+        let latencies_ms = Arc::new(parking_lot::Mutex::new(Vec::with_capacity(total)));
+        let produced = Arc::new(AtomicUsize::new(0));
+        let done_producing = Arc::new(AtomicUsize::new(0));
+
+        let start = Instant::now();
+        crossbeam::scope(|scope| {
+            // producer: enqueue requests on the offered-load schedule
+            {
+                let queue = Arc::clone(&queue);
+                let produced = Arc::clone(&produced);
+                let done = Arc::clone(&done_producing);
+                scope.spawn(move |_| {
+                    for i in 0..total {
+                        let scheduled = interval * i as u32;
+                        // open-loop: wait until the scheduled arrival time
+                        let now = start.elapsed();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        queue.push((i, scheduled));
+                        produced.fetch_add(1, Ordering::SeqCst);
+                    }
+                    done.store(1, Ordering::SeqCst);
+                });
+            }
+            // workers: serve requests, recording latency from scheduled
+            // arrival to completion (queueing + service time)
+            for _ in 0..workers {
+                let queue = Arc::clone(&queue);
+                let latencies = Arc::clone(&latencies_ms);
+                let done = Arc::clone(&done_producing);
+                let produced = Arc::clone(&produced);
+                let retriever = self.retriever;
+                scope.spawn(move |_| {
+                    let mut served = 0usize;
+                    loop {
+                        match queue.pop() {
+                            Some((i, scheduled)) => {
+                                let req = &requests[i % requests.len()];
+                                let _ads = retriever.retrieve(req.query, &req.preclick_items);
+                                let latency = start.elapsed().saturating_sub(scheduled);
+                                latencies.lock().push(latency.as_secs_f64() * 1000.0);
+                                served += 1;
+                            }
+                            None => {
+                                if done.load(Ordering::SeqCst) == 1
+                                    && latencies.lock().len() >= produced.load(Ordering::SeqCst)
+                                {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    served
+                });
+            }
+        })
+        .expect("serving threads must not panic");
+        let wall = start.elapsed().as_secs_f64();
+
+        let mut ms = Arc::try_unwrap(latencies_ms)
+            .expect("all workers joined")
+            .into_inner();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let completed = ms.len();
+        LoadReport {
+            offered_qps,
+            completed,
+            mean_ms: if completed == 0 {
+                0.0
+            } else {
+                ms.iter().sum::<f64>() / completed as f64
+            },
+            p50_ms: percentile(&ms, 0.50),
+            p99_ms: percentile(&ms, 0.99),
+            achieved_qps: completed as f64 / wall.max(1e-9),
+        }
+    }
+
+    /// Sweep several offered-QPS levels (the Fig. 9 x-axis).
+    pub fn sweep(&self, requests: &[Request], qps_levels: &[f64]) -> Vec<LoadReport> {
+        qps_levels
+            .iter()
+            .map(|&qps| self.run_level(requests, qps))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
+    use crate::retriever::RetrievalConfig;
+    use amcad_manifold::{ProductManifold, SubspaceSpec};
+    use amcad_mnn::MixedPointSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(ids: std::ops::Range<u32>, seed: u64) -> MixedPointSet {
+        let manifold = ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
+        let mut set = MixedPointSet::new(manifold.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in ids {
+            let tangent: Vec<f64> = (0..4).map(|_| rng.gen_range(-0.3..0.3)).collect();
+            set.push(id, &manifold.exp0(&tangent), &[0.5, 0.5]);
+        }
+        set
+    }
+
+    fn retriever() -> TwoLayerRetriever {
+        let inputs = IndexBuildInputs {
+            queries_qq: random_points(0..10, 1),
+            queries_qi: random_points(0..10, 2),
+            items_qi: random_points(100..140, 3),
+            queries_qa: random_points(0..10, 4),
+            ads_qa: random_points(200..220, 5),
+            items_ii: random_points(100..140, 6),
+            items_ia: random_points(100..140, 7),
+            ads_ia: random_points(200..220, 8),
+        };
+        let indexes = IndexSet::build(&inputs, IndexBuildConfig { top_k: 8, threads: 1 });
+        TwoLayerRetriever::new(indexes, RetrievalConfig::default())
+    }
+
+    fn requests() -> Vec<Request> {
+        (0..10u32)
+            .map(|q| Request {
+                query: q,
+                preclick_items: vec![100 + q, 110 + q],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn load_test_completes_every_request_and_reports_sane_statistics() {
+        let r = retriever();
+        let sim = ServingSimulator::new(
+            &r,
+            ServingConfig {
+                workers: 2,
+                requests_per_level: 200,
+            },
+        );
+        let report = sim.run_level(&requests(), 5_000.0);
+        assert_eq!(report.completed, 200);
+        assert!(report.mean_ms >= 0.0);
+        assert!(report.p50_ms <= report.p99_ms + 1e-9);
+        assert!(report.achieved_qps > 0.0);
+    }
+
+    #[test]
+    fn sweep_returns_one_report_per_level() {
+        let r = retriever();
+        let sim = ServingSimulator::new(
+            &r,
+            ServingConfig {
+                workers: 2,
+                requests_per_level: 100,
+            },
+        );
+        let reports = sim.sweep(&requests(), &[1_000.0, 4_000.0]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].offered_qps, 1_000.0);
+        assert_eq!(reports[1].offered_qps, 4_000.0);
+    }
+
+    #[test]
+    fn percentile_helper_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+}

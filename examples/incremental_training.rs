@@ -1,0 +1,60 @@
+//! Incremental (day-over-day) training, as deployed in production
+//! (Section V-C of the paper): each day the model warm-starts from the
+//! previous day's parameters and is trained only on the new day's logs,
+//! keeping metrics stable while saving the cost of full retraining.
+//!
+//! ```bash
+//! cargo run --release --example incremental_training
+//! ```
+
+use amcad::core::{evaluate_offline, EvalConfig};
+use amcad::datagen::{Dataset, WorldConfig};
+use amcad::eval::TextTable;
+use amcad::model::{AmcadConfig, AmcadModel, Trainer, TrainerConfig};
+
+fn main() {
+    let seed = 23;
+    // Three consecutive "days" drawn from the same latent world (different
+    // session seeds), so entities stay aligned while behaviour shifts.
+    let days: Vec<Dataset> = (0..3)
+        .map(|d| {
+            let mut w = WorldConfig::tiny(seed);
+            w.seed = seed + d as u64; // same sizes, different sessions
+            Dataset::generate(&w)
+        })
+        .collect();
+
+    let trainer = Trainer::new(TrainerConfig {
+        batch_size: 16,
+        steps: 60,
+        seed,
+        lru_max_age: 0,
+    });
+    let eval_cfg = EvalConfig {
+        max_queries: 40,
+        auc_negatives: 4,
+        seed,
+    };
+
+    // The model is created once (against day 0's graph, which defines the
+    // vocabulary sizes) and then trained incrementally on each day.
+    let mut model = AmcadModel::new(AmcadConfig::test_tiny(seed), &days[0].graph);
+    let mut table = TextTable::new(vec![
+        "Day",
+        "Train loss (last step)",
+        "Next AUC (same day's next-day logs)",
+    ]);
+    for (d, dataset) in days.iter().enumerate() {
+        let report = trainer.run(&mut model, &dataset.graph);
+        let export = model.export(&dataset.graph, seed);
+        let metrics = evaluate_offline(&export, dataset, &eval_cfg);
+        table.row(vec![
+            format!("day {}", d + 1),
+            format!("{:.4}", report.losses.last().copied().unwrap_or(f64::NAN)),
+            format!("{:.2}", metrics.next_auc),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: metrics stay in the same band from day to day — warm-started incremental");
+    println!("training does not degrade the model (Section V-C reports day-over-day stability).");
+}

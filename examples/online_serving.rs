@@ -1,0 +1,87 @@
+//! Online serving scenario: build the six inverted indices, serve traffic
+//! through the two-layer retriever and measure latency under load.
+//!
+//! This exercises the production-facing half of the system (Section IV-C of
+//! the paper): MNN index construction, the Q2Q/Q2I/I2Q/I2I first layer, the
+//! Q2A/I2A second layer, and an open-loop load test like Fig. 9.
+//!
+//! ```bash
+//! cargo run --release --example online_serving
+//! ```
+
+use amcad::core::{Pipeline, PipelineConfig};
+use amcad::eval::TextTable;
+use amcad::retrieval::{Request, ServingConfig, ServingSimulator};
+
+fn main() {
+    let result = Pipeline::new(PipelineConfig::small(11)).run();
+
+    let indexes = result.retriever.indexes();
+    println!(
+        "inverted indices built: {} posting lists, {} postings total",
+        indexes.total_keys(),
+        indexes.total_postings()
+    );
+    println!(
+        "  Q2Q {}  Q2I {}  I2Q {}  I2I {}  Q2A {}  I2A {} keys\n",
+        indexes.q2q.len(),
+        indexes.q2i.len(),
+        indexes.i2q.len(),
+        indexes.i2i.len(),
+        indexes.q2a.len(),
+        indexes.i2a.len()
+    );
+
+    // Coverage benefit of the second layer: how many requests get ads from
+    // the single-layer (query-only) channel vs the two-layer channel.
+    let mut single_covered = 0usize;
+    let mut two_covered = 0usize;
+    let requests: Vec<Request> = result
+        .dataset
+        .eval_sessions
+        .iter()
+        .map(|s| Request {
+            query: s.query.0,
+            preclick_items: result
+                .dataset
+                .preclick_items(s)
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        })
+        .collect();
+    for r in &requests {
+        if !result.retriever.retrieve_single_layer(r.query).is_empty() {
+            single_covered += 1;
+        }
+        if !result.retriever.retrieve(r.query, &r.preclick_items).is_empty() {
+            two_covered += 1;
+        }
+    }
+    println!(
+        "coverage over {} next-day requests: single layer {:.1}%, two layers {:.1}%\n",
+        requests.len(),
+        100.0 * single_covered as f64 / requests.len() as f64,
+        100.0 * two_covered as f64 / requests.len() as f64
+    );
+
+    // Load test: latency vs offered QPS.
+    let sim = ServingSimulator::new(
+        &result.retriever,
+        ServingConfig {
+            workers: 4,
+            requests_per_level: 1_500,
+        },
+    );
+    let reports = sim.sweep(&requests, &[1_000.0, 5_000.0, 20_000.0, 80_000.0]);
+    let mut table = TextTable::new(vec!["Offered QPS", "Mean (ms)", "p99 (ms)", "Achieved QPS"]);
+    for r in &reports {
+        table.row(vec![
+            format!("{:.0}", r.offered_qps),
+            format!("{:.3}", r.mean_ms),
+            format!("{:.3}", r.p99_ms),
+            format!("{:.0}", r.achieved_qps),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,46 @@
+//! # amcad
+//!
+//! Facade crate for the Rust reproduction of **AMCAD: Adaptive
+//! Mixed-Curvature Representation based Advertisement Retrieval System**
+//! (ICDE 2022).
+//!
+//! The implementation is split into focused crates, all re-exported here:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`manifold`] | `amcad-manifold` | κ-stereographic constant-curvature and product-manifold math |
+//! | [`autodiff`] | `amcad-autodiff` | reverse-mode autodiff, parameter store, AdaGrad |
+//! | [`graph`] | `amcad-graph` | heterogeneous query–item–ad graph engine, meta-path sampling |
+//! | [`datagen`] | `amcad-datagen` | synthetic sponsored-search behaviour-log generator |
+//! | [`model`] | `amcad-model` | the adaptive mixed-curvature model family + walk baselines |
+//! | [`mnn`] | `amcad-mnn` | mixed-curvature (approximate) nearest-neighbour index builder |
+//! | [`retrieval`] | `amcad-retrieval` | two-layer online ad retrieval and serving simulator |
+//! | [`eval`] | `amcad-eval` | ranking metrics and the A/B click/revenue simulator |
+//! | [`core`] | `amcad-core` | the end-to-end pipeline and the offline evaluation protocol |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use amcad::core::{Pipeline, PipelineConfig};
+//!
+//! // logs → graph → training → indices → two-layer retrieval → metrics
+//! let result = Pipeline::new(PipelineConfig::small(42)).run();
+//! println!("Next AUC = {:.2}", result.offline.next_auc);
+//! let session = &result.dataset.eval_sessions[0];
+//! let ads = result.retriever.retrieve(session.query.0, &[]);
+//! println!("retrieved {} ads for the first next-day session", ads.len());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the experiment harness that regenerates every table and figure of the
+//! paper.
+
+pub use amcad_autodiff as autodiff;
+pub use amcad_core as core;
+pub use amcad_datagen as datagen;
+pub use amcad_eval as eval;
+pub use amcad_graph as graph;
+pub use amcad_manifold as manifold;
+pub use amcad_mnn as mnn;
+pub use amcad_model as model;
+pub use amcad_retrieval as retrieval;

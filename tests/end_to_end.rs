@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: the full pipeline, learning quality
+//! relative to baselines, and consistency between the model export, the MNN
+//! indices and the two-layer retriever.
+
+use amcad::core::{evaluate_offline, EvalConfig, Pipeline, PipelineConfig, RandomScorer};
+use amcad::datagen::{Dataset, WorldConfig};
+use amcad::graph::{NodeId, NodeType};
+use amcad::model::{PairScorer, RelationKind, SgnsConfig, SgnsModel, WalkStrategy};
+
+fn pipeline_result() -> amcad::core::PipelineResult {
+    Pipeline::new(PipelineConfig::small(2024)).run()
+}
+
+#[test]
+fn trained_amcad_beats_a_random_scorer_on_next_day_auc() {
+    let result = pipeline_result();
+    let eval = EvalConfig {
+        max_queries: 30,
+        auc_negatives: 3,
+        seed: 5,
+    };
+    let random = evaluate_offline(&RandomScorer::new(5), &result.dataset, &eval);
+    assert!(
+        result.offline.next_auc > random.next_auc + 5.0,
+        "trained model AUC {:.2} should clearly beat random {:.2}",
+        result.offline.next_auc,
+        random.next_auc
+    );
+}
+
+#[test]
+fn export_distances_and_mnn_postings_agree() {
+    let result = pipeline_result();
+    let export = &result.export;
+    let dataset = &result.dataset;
+    // For a handful of queries: the Q2A posting list produced by the MNN
+    // index must be ordered consistently with the export's own distances.
+    let q2a = &result.retriever.indexes().q2a;
+    let mut checked = 0;
+    for &q in dataset.query_nodes.iter().take(10) {
+        let Some(postings) = q2a.get(q.0) else { continue };
+        if postings.len() < 2 {
+            continue;
+        }
+        for w in postings.windows(2) {
+            let d0 = export.distance(q, NodeId(w[0].0)).unwrap();
+            let d1 = export.distance(q, NodeId(w[1].0)).unwrap();
+            assert!(
+                d0 <= d1 + 1e-9,
+                "posting order must match export distances ({d0} vs {d1})"
+            );
+            // the stored posting distance is the export distance
+            assert!((w[0].1 - d0).abs() < 1e-9);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "need enough queries with Q2A postings");
+}
+
+#[test]
+fn two_layer_retrieval_returns_ads_relevant_to_the_query_category() {
+    let result = pipeline_result();
+    let dataset = &result.dataset;
+    let mut relevant = 0usize;
+    let mut total = 0usize;
+    for session in dataset.eval_sessions.iter().take(50) {
+        let pre: Vec<u32> = dataset
+            .preclick_items(session)
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        let ads = result.retriever.retrieve(session.query.0, &pre);
+        for ad in ads.iter().take(5) {
+            total += 1;
+            let ad_node = NodeId(ad.ad);
+            assert_eq!(dataset.graph.node_type(ad_node), NodeType::Ad);
+            if dataset.graph.category(ad_node) == dataset.graph.category(session.query) {
+                relevant += 1;
+            }
+        }
+    }
+    assert!(total > 0, "the retriever should serve ads for next-day sessions");
+    // The `small` preset trains for only a few dozen steps (debug-mode test
+    // budget), so category selectivity is weak but must not collapse to
+    // zero; the release-mode experiment harness uses far larger budgets.
+    let frac = relevant as f64 / total as f64;
+    assert!(
+        frac > 0.05,
+        "retrieved ads should show some category affinity, got {frac:.2}"
+    );
+}
+
+#[test]
+fn walk_baselines_and_amcad_are_comparable_through_the_same_protocol() {
+    // Both kinds of scorer run through the identical evaluation path — the
+    // property the Table VI harness relies on.
+    let dataset = Dataset::generate(&WorldConfig::tiny(91));
+    let eval = EvalConfig {
+        max_queries: 20,
+        auc_negatives: 3,
+        seed: 91,
+    };
+    let sgns = SgnsModel::train(
+        &dataset.graph,
+        &WalkStrategy::default_deepwalk(),
+        &SgnsConfig {
+            dim: 16,
+            epochs: 2,
+            ..Default::default()
+        },
+    );
+    let m = evaluate_offline(&sgns, &dataset, &eval);
+    assert!(m.next_auc.is_finite());
+    assert!(m.next_auc > 40.0, "DeepWalk should be clearly above chance-floor scores");
+    assert_eq!(sgns.scorer_name(), "DeepWalk");
+}
+
+#[test]
+fn export_covers_all_five_relation_spaces_for_pipeline_output() {
+    let result = pipeline_result();
+    for kind in RelationKind::ALL {
+        let space = &result.export.spaces[&kind];
+        assert!(!space.is_empty(), "relation space {kind:?} must not be empty");
+        // every stored weight vector is a distribution over subspaces
+        for w in space.weights.values().take(20) {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+    }
+}
