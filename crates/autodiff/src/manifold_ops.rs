@@ -116,8 +116,8 @@ fn mul_by_scalar_tensor(t: &mut Tape, v: Var, scale: Var) -> Var {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amcad_manifold as reference;
     use crate::tensor::Tensor;
+    use amcad_manifold as reference;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() < tol, "{a} vs {b}");
@@ -148,10 +148,18 @@ mod tests {
             );
 
             let e = exp0(&mut t, x, k);
-            assert_vec_close(&t.value(e).data, &reference::exp_map_origin(&xs, kappa), 1e-9);
+            assert_vec_close(
+                &t.value(e).data,
+                &reference::exp_map_origin(&xs, kappa),
+                1e-9,
+            );
 
             let l = log0(&mut t, y, k);
-            assert_vec_close(&t.value(l).data, &reference::log_map_origin(&ys, kappa), 1e-9);
+            assert_vec_close(
+                &t.value(l).data,
+                &reference::log_map_origin(&ys, kappa),
+                1e-9,
+            );
 
             let d = distance(&mut t, x, y, k);
             assert_close(
@@ -225,7 +233,8 @@ mod tests {
             }
             // gradient w.r.t. κ (the adaptive-curvature path)
             let gk = grads.wrt(k).unwrap().scalar_value();
-            let fd = (eval(&base_x, &base_y, kappa + h) - eval(&base_x, &base_y, kappa - h)) / (2.0 * h);
+            let fd =
+                (eval(&base_x, &base_y, kappa + h) - eval(&base_x, &base_y, kappa - h)) / (2.0 * h);
             assert!((gk - fd).abs() < 1e-4, "kappa {kappa} dκ: {gk} vs {fd}");
         }
     }

@@ -172,7 +172,13 @@ impl ParamStore {
     }
 
     /// Register a dense parameter with explicit initial values.
-    pub fn dense_with_values(&mut self, name: &str, rows: usize, cols: usize, values: Vec<f64>) -> DenseId {
+    pub fn dense_with_values(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        values: Vec<f64>,
+    ) -> DenseId {
         assert_eq!(values.len(), rows * cols);
         let id = self.dense(name, rows, cols, 0.0);
         self.dense[id.0].data = values;
@@ -275,7 +281,11 @@ impl ParamStore {
     pub fn use_row(&mut self, tape: &mut Tape, batch: &mut Batch, id: TableId, row: usize) -> Var {
         let step = self.step;
         let t = &mut self.tables[id.0];
-        assert!(row < t.rows, "row {row} out of bounds for table `{}`", t.name);
+        assert!(
+            row < t.rows,
+            "row {row} out of bounds for table `{}`",
+            t.name
+        );
         t.last_used[row] = step;
         let data = t.data[row * t.dim..(row + 1) * t.dim].to_vec();
         let var = tape.leaf(Tensor::row(data));
@@ -310,10 +320,19 @@ impl ParamStore {
             }
         }
 
+        // Deterministic order: the clip-norm sum is order-sensitive in
+        // floating point, and HashMap order varies per process, which
+        // would make seeded training runs diverge.
+        let mut entries: Vec<(Target, Vec<f64>)> = acc.into_iter().collect();
+        entries.sort_unstable_by_key(|(t, _)| match *t {
+            Target::Dense(id) => (0, id.0, 0),
+            Target::Row(id, row) => (1, id.0, row),
+        });
+
         // 2. global norm clipping
-        let total_sq: f64 = acc
-            .values()
-            .map(|g| g.iter().map(|x| x * x).sum::<f64>())
+        let total_sq: f64 = entries
+            .iter()
+            .map(|(_, g)| g.iter().map(|x| x * x).sum::<f64>())
             .sum();
         let global_norm = total_sq.sqrt();
         let clip_scale = if self.config.clip_norm > 0.0 && global_norm > self.config.clip_norm {
@@ -325,7 +344,7 @@ impl ParamStore {
         // 3. AdaGrad update
         let lr = self.effective_lr();
         let eps = self.config.epsilon;
-        for (target, mut g) in acc {
+        for (target, mut g) in entries {
             for gi in &mut g {
                 *gi *= clip_scale;
             }
@@ -335,17 +354,19 @@ impl ParamStore {
                     if !p.trainable {
                         continue;
                     }
-                    for i in 0..p.data.len() {
-                        p.accum[i] += g[i] * g[i];
-                        p.data[i] -= lr * g[i] / (p.accum[i].sqrt() + eps);
+                    debug_assert_eq!(g.len(), p.data.len(), "dense gradient shape mismatch");
+                    for (i, gi) in g.iter().enumerate() {
+                        p.accum[i] += gi * gi;
+                        p.data[i] -= lr * gi / (p.accum[i].sqrt() + eps);
                     }
                 }
                 Target::Row(id, row) => {
                     let t = &mut self.tables[id.0];
                     let base = row * t.dim;
-                    for i in 0..t.dim {
-                        t.accum[base + i] += g[i] * g[i];
-                        t.data[base + i] -= lr * g[i] / (t.accum[base + i].sqrt() + eps);
+                    debug_assert_eq!(g.len(), t.dim, "row gradient shape mismatch");
+                    for (i, gi) in g.iter().enumerate().take(t.dim) {
+                        t.accum[base + i] += gi * gi;
+                        t.data[base + i] -= lr * gi / (t.accum[base + i].sqrt() + eps);
                     }
                 }
             }

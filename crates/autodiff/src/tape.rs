@@ -127,7 +127,9 @@ impl Default for Tape {
 impl Tape {
     /// Create an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::with_capacity(256) }
+        Tape {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -447,12 +449,20 @@ impl Tape {
                 Op::Sum(a) => {
                     let g = grad.scalar_value();
                     let av = self.value(*a);
-                    self.accumulate(&mut grads, *a, Tensor::new(av.rows, av.cols, vec![g; av.len()]));
+                    self.accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::new(av.rows, av.cols, vec![g; av.len()]),
+                    );
                 }
                 Op::Mean(a) => {
                     let av = self.value(*a);
                     let g = grad.scalar_value() / av.len() as f64;
-                    self.accumulate(&mut grads, *a, Tensor::new(av.rows, av.cols, vec![g; av.len()]));
+                    self.accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::new(av.rows, av.cols, vec![g; av.len()]),
+                    );
                 }
                 Op::Dot(a, b) => {
                     let g = grad.scalar_value();

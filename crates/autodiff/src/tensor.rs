@@ -72,7 +72,12 @@ impl Tensor {
     /// The single value of a scalar tensor.
     #[inline]
     pub fn scalar_value(&self) -> f64 {
-        debug_assert!(self.is_scalar(), "expected scalar, got {}x{}", self.rows, self.cols);
+        debug_assert!(
+            self.is_scalar(),
+            "expected scalar, got {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
@@ -137,7 +142,11 @@ impl Tensor {
 
     /// Elementwise map.
     pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Tensor {
-        Tensor::new(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Tensor::new(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Elementwise binary combination with a same-shaped tensor.

@@ -4,6 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use amcad_core::{Pipeline, PipelineConfig};
+use amcad_retrieval::Request;
 
 fn bench_retrieval(c: &mut Criterion) {
     let result = Pipeline::new(PipelineConfig::small(99)).run();
@@ -21,18 +22,20 @@ fn bench_retrieval(c: &mut Criterion) {
         .map(|n| n.0)
         .collect();
     let query = session.query.0;
+    let request = Request {
+        query,
+        preclick_items: preclicks,
+    };
+    let batch: Vec<Request> = std::iter::repeat_n(request.clone(), 8).collect();
 
     c.bench_function("retrieval/two_layer_single_request", |b| {
-        b.iter(|| {
-            black_box(
-                result
-                    .retriever
-                    .retrieve(black_box(query), black_box(&preclicks)),
-            )
-        })
+        b.iter(|| black_box(result.engine.retrieve(black_box(&request))))
+    });
+    c.bench_function("retrieval/two_layer_batch_8", |b| {
+        b.iter(|| black_box(result.engine.retrieve_batch(black_box(&batch))))
     });
     c.bench_function("retrieval/single_layer_single_request", |b| {
-        b.iter(|| black_box(result.retriever.retrieve_single_layer(black_box(query))))
+        b.iter(|| black_box(result.engine.retrieve_single_layer(black_box(query))))
     });
 }
 

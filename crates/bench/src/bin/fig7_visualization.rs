@@ -25,7 +25,10 @@ use amcad_model::{AmcadConfig, AmcadModel, RelationKind, SubspaceCfg, Trainer};
 fn main() {
     let scale = Scale::from_env();
     let seed = 20220909;
-    println!("== Fig. 7: query embedding visualisation (scale = {}) ==\n", scale.label());
+    println!(
+        "== Fig. 7: query embedding visualisation (scale = {}) ==\n",
+        scale.label()
+    );
 
     let dataset = Dataset::generate(&scale.world(seed));
     // Toy configuration: one hyperbolic and one spherical subspace of
@@ -85,7 +88,11 @@ fn main() {
             dist_by_level[q.level.min(2) as usize].push(d);
         }
     }
-    let mut table = TextTable::new(vec!["Query level", "#queries", "Mean hyperbolic origin distance"]);
+    let mut table = TextTable::new(vec![
+        "Query level",
+        "#queries",
+        "Mean hyperbolic origin distance",
+    ]);
     for (level, dists) in dist_by_level.iter().enumerate() {
         table.row(vec![
             format!("{level}"),
@@ -108,7 +115,11 @@ fn main() {
         amcad_eval::mean(&w_hyp),
         amcad_eval::mean(&w_sph)
     );
-    println!("\nShape to check against the paper's Fig. 7: broad (level-0) queries lie closest to the");
-    println!("hyperbolic origin with distance increasing by level, and the hyperbolic subspace carries");
+    println!(
+        "\nShape to check against the paper's Fig. 7: broad (level-0) queries lie closest to the"
+    );
+    println!(
+        "hyperbolic origin with distance increasing by level, and the hyperbolic subspace carries"
+    );
     println!("at least comparable attention weight to the spherical one for Q2Q relations.");
 }

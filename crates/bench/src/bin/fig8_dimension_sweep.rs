@@ -22,7 +22,9 @@ fn config_for(total_dim: usize, m: usize, seed: u64) -> AmcadConfig {
     cfg.id_dim = (per_sub / 2).max(1);
     cfg.category_dim = (per_sub / 4).max(1);
     cfg.term_dim = per_sub - cfg.id_dim - cfg.category_dim;
-    cfg.subspaces = (0..m).map(|_| SubspaceCfg::unified(cfg.id_dim + cfg.category_dim + cfg.term_dim)).collect();
+    cfg.subspaces = (0..m)
+        .map(|_| SubspaceCfg::unified(cfg.id_dim + cfg.category_dim + cfg.term_dim))
+        .collect();
     cfg
 }
 
@@ -62,7 +64,7 @@ fn main() {
             let cfg = config_for(dim, m, seed);
             let r = train_and_eval_amcad(cfg, &dataset, trainer, &eval);
             let auc = r.metrics.next_auc;
-            if best.map_or(true, |(b, _, _)| auc > b) {
+            if best.is_none_or(|(b, _, _)| auc > b) {
                 best = Some((auc, dim, m));
             }
             row.push(format!("{auc:.3}"));
@@ -74,7 +76,11 @@ fn main() {
     if let Some((auc, dim, m)) = best {
         println!("Best cell: total dim {dim}, {m} subspaces (Next AUC {auc:.3}).");
     }
-    println!("Shape to check against the paper's Fig. 8: AUC rises with total dimension and saturates;");
-    println!("two subspaces is generally the best or near-best column, and 3–4 subspaces only catch up");
+    println!(
+        "Shape to check against the paper's Fig. 8: AUC rises with total dimension and saturates;"
+    );
+    println!(
+        "two subspaces is generally the best or near-best column, and 3–4 subspaces only catch up"
+    );
     println!("once each subspace has enough dimensions.");
 }

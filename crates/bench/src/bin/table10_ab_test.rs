@@ -6,7 +6,7 @@
 //! largest lift on page 1 and decreasing lift on later pages).
 //!
 //! This binary trains both models on the same synthetic graph, builds a
-//! two-layer retriever for each, serves every next-day session through both
+//! retrieval engine for each, serves every next-day session through both
 //! channels, and pushes the served ad lists through the position-aware click
 //! / revenue simulator.
 
@@ -15,9 +15,9 @@ use amcad_core::{build_index_inputs, evaluate_offline, run_ab_test};
 use amcad_datagen::Dataset;
 use amcad_eval::{relative_lift, ClickModelConfig, TextTable};
 use amcad_model::{AmcadConfig, AmcadModel, Trainer};
-use amcad_retrieval::{IndexBuildConfig, IndexSet, RetrievalConfig, TwoLayerRetriever};
+use amcad_retrieval::{RetrievalConfig, RetrievalEngine};
 
-fn build_channel(cfg: AmcadConfig, dataset: &Dataset, scale: Scale, seed: u64) -> TwoLayerRetriever {
+fn build_channel(cfg: AmcadConfig, dataset: &Dataset, scale: Scale, seed: u64) -> RetrievalEngine {
     let mut model = AmcadModel::new(cfg, &dataset.graph);
     Trainer::new(scale.trainer(seed)).run(&mut model, &dataset.graph);
     let export = model.export(&dataset.graph, seed);
@@ -27,14 +27,21 @@ fn build_channel(cfg: AmcadConfig, dataset: &Dataset, scale: Scale, seed: u64) -
         export.name, metrics.next_auc
     );
     let inputs = build_index_inputs(&export, dataset);
-    let indexes = IndexSet::build(&inputs, IndexBuildConfig { top_k: 20, threads: 4 });
-    TwoLayerRetriever::new(indexes, RetrievalConfig::default())
+    RetrievalEngine::builder()
+        .top_k(20)
+        .threads(4)
+        .retrieval(RetrievalConfig::default())
+        .build(&inputs)
+        .expect("trained exports always produce non-empty ad indices")
 }
 
 fn main() {
     let scale = Scale::from_env();
     let seed = 20230101;
-    println!("== Table X: simulated online A/B test (scale = {}) ==\n", scale.label());
+    println!(
+        "== Table X: simulated online A/B test (scale = {}) ==\n",
+        scale.label()
+    );
 
     let dataset = Dataset::generate(&scale.world(seed));
     let fd = scale.feature_dim();
@@ -73,11 +80,17 @@ fn main() {
     header.push("Overall".into());
     ctr_row.push(format!(
         "{:+.1}%",
-        relative_lift(outcome.control.overall_ctr(), outcome.treatment.overall_ctr())
+        relative_lift(
+            outcome.control.overall_ctr(),
+            outcome.treatment.overall_ctr()
+        )
     ));
     rpm_row.push(format!(
         "{:+.1}%",
-        relative_lift(outcome.control.overall_rpm(), outcome.treatment.overall_rpm())
+        relative_lift(
+            outcome.control.overall_rpm(),
+            outcome.treatment.overall_rpm()
+        )
     ));
     let mut table = TextTable::new(header);
     table.row(ctr_row);
@@ -95,7 +108,11 @@ fn main() {
         outcome.treatment.overall_rpm()
     );
     println!("{}", table.render());
-    println!("Paper (Table X): +0.5% CTR and +1.1% RPM overall, largest lift on page 1, shrinking with");
-    println!("page depth.  Shape to check: the AMCAD channel's CTR/RPM lift is positive overall and the");
+    println!(
+        "Paper (Table X): +0.5% CTR and +1.1% RPM overall, largest lift on page 1, shrinking with"
+    );
+    println!(
+        "page depth.  Shape to check: the AMCAD channel's CTR/RPM lift is positive overall and the"
+    );
     println!("gain is concentrated on early pages.");
 }

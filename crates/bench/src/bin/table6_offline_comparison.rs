@@ -18,7 +18,10 @@ use amcad_model::{AmcadConfig, SgnsConfig, WalkStrategy};
 fn main() {
     let scale = Scale::from_env();
     let seed = 20220314;
-    println!("== Table VI: offline comparison (scale = {}) ==\n", scale.label());
+    println!(
+        "== Table VI: offline comparison (scale = {}) ==\n",
+        scale.label()
+    );
 
     let dataset = Dataset::generate(&scale.world(seed));
     let stats = dataset.graph.stats();
@@ -56,8 +59,8 @@ fn main() {
         push(&r.name, "E", &r.metrics, r.train_seconds);
         eprintln!("done: {}", r.name);
     }
-    for cfg in [AmcadConfig::euclidean(fd, seed)] {
-        let r = train_and_eval_amcad(cfg, &dataset, trainer, &eval);
+    {
+        let r = train_and_eval_amcad(AmcadConfig::euclidean(fd, seed), &dataset, trainer, &eval);
         push(&r.name, "E", &r.metrics, r.train_seconds);
         eprintln!("done: {}", r.name);
     }

@@ -13,7 +13,10 @@ use amcad_model::AmcadConfig;
 fn main() {
     let scale = Scale::from_env();
     let seed = 20220707;
-    println!("== Table VII: ablation study (scale = {}) ==\n", scale.label());
+    println!(
+        "== Table VII: ablation study (scale = {}) ==\n",
+        scale.label()
+    );
 
     let dataset = Dataset::generate(&scale.world(seed));
     let trainer = scale.trainer(seed);
@@ -22,11 +25,23 @@ fn main() {
 
     let rows: Vec<(&str, AmcadConfig)> = vec![
         ("Full AMCAD", AmcadConfig::amcad(fd, seed)),
-        ("Node Encoder - mixed", AmcadConfig::unified_single(fd, seed)),
+        (
+            "Node Encoder - mixed",
+            AmcadConfig::unified_single(fd, seed),
+        ),
         ("Node Encoder - curv", AmcadConfig::euclidean(fd, seed)),
-        ("Node Encoder - fusion", AmcadConfig::without_fusion(fd, seed)),
-        ("Edge Scorer  - proj", AmcadConfig::without_projection(fd, seed)),
-        ("Edge Scorer  - comb", AmcadConfig::without_combination(fd, seed)),
+        (
+            "Node Encoder - fusion",
+            AmcadConfig::without_fusion(fd, seed),
+        ),
+        (
+            "Edge Scorer  - proj",
+            AmcadConfig::without_projection(fd, seed),
+        ),
+        (
+            "Edge Scorer  - comb",
+            AmcadConfig::without_combination(fd, seed),
+        ),
     ];
 
     let mut table = TextTable::new(vec![
@@ -50,7 +65,11 @@ fn main() {
         eprintln!("done: {label}");
     }
     println!("{}", table.render());
-    println!("Shape to check against the paper's Table VII: every ablation is at or below Full AMCAD;");
-    println!("`- curv` (losing curved space entirely) hurts the most, `- mixed` and `- proj` hurt next,");
+    println!(
+        "Shape to check against the paper's Table VII: every ablation is at or below Full AMCAD;"
+    );
+    println!(
+        "`- curv` (losing curved space entirely) hurts the most, `- mixed` and `- proj` hurt next,"
+    );
     println!("`- fusion` and `- comb` cause the smallest drops.");
 }

@@ -37,7 +37,13 @@ fn main() {
         ("Product U x U", [Unified, Unified]),
     ];
 
-    let mut table = TextTable::new(vec!["Model", "Subspace", "NextAUC", "Q2A HR@100", "Q2A nDCG@100"]);
+    let mut table = TextTable::new(vec![
+        "Model",
+        "Subspace",
+        "NextAUC",
+        "Q2A HR@100",
+        "Q2A nDCG@100",
+    ]);
     let mut best_product = f64::NEG_INFINITY;
     for (label, kinds) in combos {
         let cfg = AmcadConfig::product_space(&kinds, fd, seed);
@@ -62,7 +68,12 @@ fn main() {
     ]);
     println!("{}", table.render());
     println!("Best fixed product-space Next AUC: {best_product:.3}");
-    println!("AMCAD (adaptive U x U)  Next AUC: {:.3}", amcad.metrics.next_auc);
-    println!("Shape to check against the paper's Table VIII: AMCAD beats every fixed combination, and");
+    println!(
+        "AMCAD (adaptive U x U)  Next AUC: {:.3}",
+        amcad.metrics.next_auc
+    );
+    println!(
+        "Shape to check against the paper's Table VIII: AMCAD beats every fixed combination, and"
+    );
     println!("mixed-sign combinations (e.g. H x S) beat the flat E x E combination.");
 }

@@ -1,0 +1,8 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{Strategy, VecStrategy};
+
+/// Strategy producing vectors of exactly `len` samples of `element`.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,19 @@
+//! No-op offline stand-in for serde's derive macros.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` (as forward
+//! compatibility for snapshotting) and never calls serde's runtime, so the
+//! derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

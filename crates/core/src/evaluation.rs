@@ -237,7 +237,12 @@ mod tests {
         let random = RandomScorer::new(9);
         let mo = evaluate_offline(&oracle, &d, &tiny_eval());
         let mr = evaluate_offline(&random, &d, &tiny_eval());
-        assert!(mo.next_auc > mr.next_auc + 5.0, "{} vs {}", mo.next_auc, mr.next_auc);
+        assert!(
+            mo.next_auc > mr.next_auc + 5.0,
+            "{} vs {}",
+            mo.next_auc,
+            mr.next_auc
+        );
         // the tiny world has < 100 items per type, so compare at K = 10
         // where the ranking actually matters.
         assert!(
@@ -254,7 +259,10 @@ mod tests {
         let d = tiny();
         let random = RandomScorer::new(3);
         let a = next_auc(&random, &d, &tiny_eval());
-        assert!((a - 0.5).abs() < 0.08, "random AUC should be ≈ 0.5, got {a}");
+        assert!(
+            (a - 0.5).abs() < 0.08,
+            "random AUC should be ≈ 0.5, got {a}"
+        );
     }
 
     #[test]
@@ -282,7 +290,10 @@ mod tests {
     #[test]
     fn scorer_names_are_exposed() {
         let d = tiny();
-        assert_eq!(OracleScorer::new(&d).scorer_name(), "Oracle (ground-truth relevance)");
+        assert_eq!(
+            OracleScorer::new(&d).scorer_name(),
+            "Oracle (ground-truth relevance)"
+        );
         assert_eq!(RandomScorer::new(1).scorer_name(), "Random");
     }
 }

@@ -9,12 +9,13 @@
 use amcad_datagen::{Dataset, WorldConfig};
 use amcad_eval::{AbMetrics, AbTestSimulator, ClickModelConfig, ServedAd};
 use amcad_graph::{NodeId, NodeType};
+use amcad_mnn::IndexBackend;
 use amcad_mnn::MixedPointSet;
 use amcad_model::{
     AmcadConfig, AmcadModel, ModelExport, RelationKind, TrainReport, Trainer, TrainerConfig,
 };
 use amcad_retrieval::{
-    IndexBuildConfig, IndexBuildInputs, IndexSet, RetrievalConfig, TwoLayerRetriever,
+    IndexBuildConfig, IndexBuildInputs, Request, RetrievalConfig, RetrievalEngine,
 };
 
 use crate::evaluation::{evaluate_offline, EvalConfig, OfflineMetrics};
@@ -48,7 +49,11 @@ impl PipelineConfig {
                 seed,
                 lru_max_age: 0,
             },
-            index: IndexBuildConfig { top_k: 10, threads: 2 },
+            index: IndexBuildConfig {
+                top_k: 10,
+                threads: 2,
+                ..Default::default()
+            },
             retrieval: RetrievalConfig::default(),
             eval: EvalConfig {
                 max_queries: 30,
@@ -70,10 +75,21 @@ impl PipelineConfig {
                 seed,
                 lru_max_age: 0,
             },
-            index: IndexBuildConfig { top_k: 20, threads: 4 },
+            index: IndexBuildConfig {
+                top_k: 20,
+                threads: 4,
+                ..Default::default()
+            },
             retrieval: RetrievalConfig::default(),
             eval: EvalConfig::default(),
         }
+    }
+
+    /// The same configuration with a different ANN index backend — the
+    /// knob the serving benchmarks sweep (exact vs IVF).
+    pub fn with_backend(mut self, backend: IndexBackend) -> Self {
+        self.index.backend = backend;
+        self
     }
 }
 
@@ -85,8 +101,8 @@ pub struct PipelineResult {
     pub model: AmcadModel,
     /// The exported embeddings and attention weights.
     pub export: ModelExport,
-    /// The two-layer retriever over the built indices.
-    pub retriever: TwoLayerRetriever,
+    /// The retrieval engine over the built indices.
+    pub engine: RetrievalEngine,
     /// The training report.
     pub train_report: TrainReport,
     /// Offline metrics of the trained model.
@@ -110,6 +126,15 @@ impl Pipeline {
     }
 
     /// Run the complete pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured world produces no ads at all
+    /// (`WorldConfig::ads_per_category == 0`): an ad-retrieval engine over
+    /// empty ad indices is rejected at build time ([`RetrievalEngine`]
+    /// returns `EmptyIndex`), and this one-call entry point treats that as
+    /// a configuration error. Ad-free experiments should drive the model /
+    /// evaluation layers directly instead of the serving pipeline.
     pub fn run(&self) -> PipelineResult {
         let dataset = Dataset::generate(&self.config.world);
         let mut model = AmcadModel::new(self.config.model.clone(), &dataset.graph);
@@ -118,13 +143,16 @@ impl Pipeline {
         let export = model.export(&dataset.graph, self.config.trainer.seed);
         let offline = evaluate_offline(&export, &dataset, &self.config.eval);
         let inputs = build_index_inputs(&export, &dataset);
-        let indexes = IndexSet::build(&inputs, self.config.index);
-        let retriever = TwoLayerRetriever::new(indexes, self.config.retrieval);
+        let engine = RetrievalEngine::builder()
+            .index(self.config.index)
+            .retrieval(self.config.retrieval)
+            .build(&inputs)
+            .unwrap_or_else(|e| panic!("engine build failed: {e}"));
         PipelineResult {
             dataset,
             model,
             export,
-            retriever,
+            engine,
             train_report,
             offline,
         }
@@ -139,8 +167,7 @@ pub fn build_index_inputs(export: &ModelExport, dataset: &Dataset) -> IndexBuild
         let space = &export.spaces[&kind];
         let mut set = MixedPointSet::new(space.manifold.clone());
         for &node in nodes {
-            if let (Some(point), Some(weight)) =
-                (space.points.get(&node), space.weights.get(&node))
+            if let (Some(point), Some(weight)) = (space.points.get(&node), space.weights.get(&node))
             {
                 set.push(node.0, point, weight);
             }
@@ -175,14 +202,20 @@ pub struct AbTestOutcome {
 /// turns relevance into clicks and bid prices into revenue.
 pub fn run_ab_test(
     dataset: &Dataset,
-    control: &TwoLayerRetriever,
-    treatment: &TwoLayerRetriever,
+    control: &RetrievalEngine,
+    treatment: &RetrievalEngine,
     click_model: ClickModelConfig,
 ) -> AbTestOutcome {
-    let to_served = |retriever: &TwoLayerRetriever, query: NodeId, preclicks: &[NodeId]| {
-        let pre: Vec<u32> = preclicks.iter().map(|n| n.0).collect();
-        retriever
-            .retrieve(query.0, &pre)
+    let to_served = |engine: &RetrievalEngine, query: NodeId, preclicks: &[NodeId]| {
+        let request = Request {
+            query: query.0,
+            preclick_items: preclicks.iter().map(|n| n.0).collect(),
+        };
+        // an uncovered request simply serves no ads in the A/B comparison
+        engine
+            .retrieve(&request)
+            .map(|response| response.ads)
+            .unwrap_or_default()
             .into_iter()
             .map(|ad| {
                 let ad_node = NodeId(ad.ad);
@@ -241,8 +274,15 @@ mod tests {
             .iter()
             .map(|n| n.0)
             .collect();
-        let ads = result.retriever.retrieve(session.query.0, &pre);
-        assert!(!ads.is_empty(), "the two-layer retriever should find ads");
+        let response = result
+            .engine
+            .retrieve(&Request {
+                query: session.query.0,
+                preclick_items: pre,
+            })
+            .expect("the two-layer engine should find ads");
+        let ads = response.ads;
+        assert!(!ads.is_empty());
         for ad in &ads {
             assert_eq!(
                 result.dataset.graph.node_type(NodeId(ad.ad)),
@@ -250,6 +290,34 @@ mod tests {
                 "retrieved ids must be ads"
             );
         }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end_with_the_ivf_backend() {
+        use amcad_mnn::IvfConfig;
+        let config =
+            PipelineConfig::small(64).with_backend(IndexBackend::Ivf(IvfConfig::default()));
+        let result = Pipeline::new(config).run();
+        assert_eq!(result.engine.backend().label(), "ivf");
+        let mut served = 0;
+        for session in result.dataset.eval_sessions.iter().take(20) {
+            let pre: Vec<u32> = result
+                .dataset
+                .preclick_items(session)
+                .iter()
+                .map(|n| n.0)
+                .collect();
+            if let Ok(response) = result.engine.retrieve(&Request {
+                query: session.query.0,
+                preclick_items: pre,
+            }) {
+                served += response.ads.len().min(1);
+            }
+        }
+        assert!(
+            served > 10,
+            "the IVF-backed pipeline must serve most sessions, got {served}"
+        );
     }
 
     #[test]
@@ -269,8 +337,8 @@ mod tests {
         let result = pipeline.run();
         let outcome = run_ab_test(
             &result.dataset,
-            &result.retriever,
-            &result.retriever,
+            &result.engine,
+            &result.engine,
             ClickModelConfig {
                 seed: 63,
                 ..Default::default()

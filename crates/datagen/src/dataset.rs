@@ -16,9 +16,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use amcad_graph::{
-    GraphBuilder, HeteroGraph, NodeFeatures, NodeId, NodeType, SessionRecord,
-};
+use amcad_graph::{GraphBuilder, HeteroGraph, NodeFeatures, NodeId, NodeType, SessionRecord};
 
 use crate::config::WorldConfig;
 use crate::world::{ProductRef, World};
@@ -110,17 +108,22 @@ impl Dataset {
         let query_nodes: Vec<NodeId> = world
             .queries
             .iter()
-            .map(|q| builder.add_node(NodeType::Query, NodeFeatures::query(q.category, q.terms.clone())))
+            .map(|q| {
+                builder.add_node(
+                    NodeType::Query,
+                    NodeFeatures::query(q.category, q.terms.clone()),
+                )
+            })
             .collect();
         let item_nodes: Vec<NodeId> = world
             .items
             .iter()
-            .map(|it|
-
+            .map(|it| {
                 builder.add_node(
                     NodeType::Item,
                     NodeFeatures::item(it.category, it.terms.clone(), it.brand, it.shop),
-                ))
+                )
+            })
             .collect();
         let ad_nodes: Vec<NodeId> = world
             .ads
@@ -298,8 +301,7 @@ fn simulate_sessions(
 
         // Candidate products: same category, occasionally a sibling category.
         let browse_cat = if rng.gen_bool(0.1) && num_categories > 1 {
-            let sibling = (cat + 1) % num_categories;
-            sibling
+            (cat + 1) % num_categories // sibling category
         } else {
             cat
         };
@@ -432,7 +434,12 @@ mod tests {
         let d = tiny_dataset();
         assert!(d.ground_truth.num_queries_with_item_clicks() > 0);
         assert!(!d.ground_truth.eval_edges.is_empty());
-        for list in d.ground_truth.q2i.values().chain(d.ground_truth.q2a.values()) {
+        for list in d
+            .ground_truth
+            .q2i
+            .values()
+            .chain(d.ground_truth.q2a.values())
+        {
             for w in list.windows(2) {
                 assert!(w[0].1 >= w[1].1, "ground truth must be sorted descending");
             }

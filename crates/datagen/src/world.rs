@@ -192,9 +192,7 @@ impl World {
             while queries.len() - root_index < n {
                 let parent_idx = level1_indices[rng.gen_range(0..level1_indices.len())];
                 let parent = queries[parent_idx].clone();
-                let extra = head
-                    + 1
-                    + rng.gen_range(0..(config.terms_per_category as u32 - 1));
+                let extra = head + 1 + rng.gen_range(0..(config.terms_per_category as u32 - 1));
                 let mut terms = parent.terms.clone();
                 if !terms.contains(&extra) {
                     terms.push(extra);
@@ -352,7 +350,10 @@ mod tests {
     fn entity_counts_match_config() {
         let w = tiny_world();
         let cfg = &w.config;
-        assert_eq!(w.num_queries(), cfg.num_categories * cfg.queries_per_category);
+        assert_eq!(
+            w.num_queries(),
+            cfg.num_categories * cfg.queries_per_category
+        );
         assert_eq!(w.num_items(), cfg.num_categories * cfg.items_per_category);
         assert_eq!(w.num_ads(), cfg.num_categories * cfg.ads_per_category);
         assert_eq!(w.users.len(), cfg.num_users);
@@ -427,16 +428,19 @@ mod tests {
             .bid_words
             .iter()
             .any(|k| cat0_ads[1].bid_words.contains(k));
-        assert!(shared, "ads of one category must share at least one keyword");
+        assert!(
+            shared,
+            "ads of one category must share at least one keyword"
+        );
     }
 
     #[test]
     fn users_have_at_least_one_interest() {
         let w = tiny_world();
         assert!(w.users.iter().all(|u| !u.interests.is_empty()));
-        assert!(w
-            .users
+        assert!(w.users.iter().all(|u| u
+            .interests
             .iter()
-            .all(|u| u.interests.iter().all(|c| (*c as usize) < w.config.num_categories)));
+            .all(|c| (*c as usize) < w.config.num_categories)));
     }
 }

@@ -212,10 +212,8 @@ mod tests {
     fn identical_systems_show_no_meaningful_lift() {
         let sim = AbTestSimulator::new(ClickModelConfig::default());
         let lists: Vec<Vec<ServedAd>> = (0..2000).map(|_| ads(&[0.5; 8])).collect();
-        let requests: Vec<(&[ServedAd], &[ServedAd])> = lists
-            .iter()
-            .map(|l| (l.as_slice(), l.as_slice()))
-            .collect();
+        let requests: Vec<(&[ServedAd], &[ServedAd])> =
+            lists.iter().map(|l| (l.as_slice(), l.as_slice())).collect();
         let (control, treatment) = sim.run(requests);
         let lift = relative_lift(control.overall_ctr(), treatment.overall_ctr());
         assert!(lift.abs() < 10.0, "noise-only lift should be small: {lift}");
@@ -225,10 +223,8 @@ mod tests {
     fn later_pages_receive_fewer_impressions() {
         let sim = AbTestSimulator::new(ClickModelConfig::default());
         let lists: Vec<Vec<ServedAd>> = (0..500).map(|_| ads(&[0.5; 20])).collect();
-        let requests: Vec<(&[ServedAd], &[ServedAd])> = lists
-            .iter()
-            .map(|l| (l.as_slice(), l.as_slice()))
-            .collect();
+        let requests: Vec<(&[ServedAd], &[ServedAd])> =
+            lists.iter().map(|l| (l.as_slice(), l.as_slice())).collect();
         let (control, _) = sim.run(requests);
         assert!(control.impressions[0] > control.impressions[4]);
     }
@@ -250,10 +246,26 @@ mod tests {
             ..Default::default()
         });
         let cheap: Vec<Vec<ServedAd>> = (0..300)
-            .map(|_| vec![ServedAd { relevance: 0.8, bid_price: 0.5 }; 4])
+            .map(|_| {
+                vec![
+                    ServedAd {
+                        relevance: 0.8,
+                        bid_price: 0.5
+                    };
+                    4
+                ]
+            })
             .collect();
         let pricey: Vec<Vec<ServedAd>> = (0..300)
-            .map(|_| vec![ServedAd { relevance: 0.8, bid_price: 2.0 }; 4])
+            .map(|_| {
+                vec![
+                    ServedAd {
+                        relevance: 0.8,
+                        bid_price: 2.0
+                    };
+                    4
+                ]
+            })
             .collect();
         let requests: Vec<(&[ServedAd], &[ServedAd])> = cheap
             .iter()

@@ -115,7 +115,7 @@ mod tests {
         assert_eq!(hitrate_at_k(&ranked, &truth, 3), 50.0);
         assert_eq!(hitrate_at_k(&ranked, &truth, 1), 0.0);
         assert_eq!(hitrate_at_k(&ranked, &Vec::<i32>::new(), 3), 0.0);
-        assert_eq!(hitrate_at_k(&ranked, &vec![1, 2, 3], 5), 100.0);
+        assert_eq!(hitrate_at_k(&ranked, &[1, 2, 3], 5), 100.0);
     }
 
     #[test]

@@ -213,7 +213,7 @@ impl HeteroGraph {
         let filtered: Vec<NodeId> = neigh
             .iter()
             .copied()
-            .filter(|n| target_type.map_or(true, |t| self.node_type(*n) == t))
+            .filter(|n| target_type.is_none_or(|t| self.node_type(*n) == t))
             .collect();
         filtered.choose(rng).copied()
     }
@@ -315,7 +315,11 @@ impl GraphBuilder {
     ///
     /// `max_pairs_per_node` bounds the quadratic blow-up on very popular
     /// products.
-    pub fn add_query_coclick_edges(&mut self, sessions: &[SessionRecord], max_pairs_per_node: usize) {
+    pub fn add_query_coclick_edges(
+        &mut self,
+        sessions: &[SessionRecord],
+        max_pairs_per_node: usize,
+    ) {
         let mut clicked_by: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         for s in sessions {
             for &c in &s.clicks {
@@ -325,7 +329,12 @@ impl GraphBuilder {
                 }
             }
         }
-        for (_node, queries) in clicked_by {
+        // HashMap iteration order is nondeterministic; sort so edge
+        // insertion (and thus the adjacency order seen by seeded
+        // samplers) is reproducible across runs
+        let mut clicked: Vec<(NodeId, Vec<NodeId>)> = clicked_by.into_iter().collect();
+        clicked.sort_unstable_by_key(|(node, _)| *node);
+        for (_node, queries) in clicked {
             let mut added = 0;
             'outer: for i in 0..queries.len() {
                 for j in (i + 1)..queries.len() {
@@ -364,7 +373,10 @@ impl GraphBuilder {
                 }
             }
         }
-        for (a, b) in candidate_pairs {
+        // sorted for run-to-run reproducibility (HashSet order varies)
+        let mut pairs: Vec<(u32, u32)> = candidate_pairs.into_iter().collect();
+        pairs.sort_unstable();
+        for (a, b) in pairs {
             let ta = &self.features[a as usize].terms;
             let tb = &self.features[b as usize].terms;
             let sim = jaccard(ta, tb);
@@ -387,7 +399,11 @@ impl GraphBuilder {
                 by_keyword.entry(k).or_default().push(a);
             }
         }
-        for ads in by_keyword.values() {
+        // sorted for run-to-run reproducibility (HashMap order varies)
+        let mut keywords: Vec<u32> = by_keyword.keys().copied().collect();
+        keywords.sort_unstable();
+        for k in keywords {
+            let ads = &by_keyword[&k];
             for i in 0..ads.len() {
                 for j in (i + 1)..ads.len() {
                     self.add_edge(ads[i], ads[j], Relation::CoBid, 1.0);
@@ -471,7 +487,10 @@ mod tests {
         let i0 = b.add_node(NodeType::Item, NodeFeatures::item(1, vec![10], 1, 1));
         let i1 = b.add_node(NodeType::Item, NodeFeatures::item(2, vec![13], 2, 2));
         let a0 = b.add_node(NodeType::Ad, NodeFeatures::ad(1, vec![10], 1, 1, vec![100]));
-        let a1 = b.add_node(NodeType::Ad, NodeFeatures::ad(1, vec![11], 1, 2, vec![100, 101]));
+        let a1 = b.add_node(
+            NodeType::Ad,
+            NodeFeatures::ad(1, vec![11], 1, 2, vec![100, 101]),
+        );
         let session = SessionRecord {
             user: 0,
             query: q0,
@@ -528,7 +547,10 @@ mod tests {
         for r in Relation::ALL {
             for &a in &ids {
                 for &b in g.neighbors(a, r) {
-                    assert!(g.has_edge(b, a, r), "missing reverse edge {a:?} {b:?} {r:?}");
+                    assert!(
+                        g.has_edge(b, a, r),
+                        "missing reverse edge {a:?} {b:?} {r:?}"
+                    );
                 }
             }
         }
@@ -573,7 +595,10 @@ mod tests {
         assert_eq!(g.nodes_of_type(NodeType::Query).len(), 2);
         let items_cat1 = g.nodes_of_type_category(NodeType::Item, 1);
         assert_eq!(items_cat1, &[ids[2]]);
-        assert_eq!(g.nodes_of_type_category(NodeType::Item, 99), &[] as &[NodeId]);
+        assert_eq!(
+            g.nodes_of_type_category(NodeType::Item, 99),
+            &[] as &[NodeId]
+        );
         assert_eq!(g.categories(), vec![1, 2]);
     }
 

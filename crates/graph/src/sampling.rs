@@ -294,7 +294,13 @@ mod tests {
                 ));
                 ads.push(b.add_node(
                     NodeType::Ad,
-                    NodeFeatures::ad(cat, vec![term_base + k], cat, cat, vec![cat * 100, cat * 100 + k % 2]),
+                    NodeFeatures::ad(
+                        cat,
+                        vec![term_base + k],
+                        cat,
+                        cat,
+                        vec![cat * 100, cat * 100 + k % 2],
+                    ),
                 ));
             }
         }

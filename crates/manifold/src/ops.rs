@@ -299,7 +299,7 @@ mod tests {
     fn kappa_activation_moves_point_between_curvatures() {
         let x = exp_map_origin(&[0.2, -0.1], -1.0);
         let y = kappa_activation(&x, -1.0, 1.0, |v| v); // identity activation
-        // identity in tangent space: log_0^{κ2}(y) == log_0^{κ1}(x)
+                                                        // identity in tangent space: log_0^{κ2}(y) == log_0^{κ1}(x)
         let tx = log_map_origin(&x, -1.0);
         let ty = log_map_origin(&y, 1.0);
         assert_vec_close(&tx, &ty, 1e-9);

@@ -63,26 +63,88 @@ impl TopK {
     }
 
     pub(crate) fn push(&mut self, distance: f64, id: u32) {
+        // Normalise corrupt (NaN) distances to +inf up front: total_cmp
+        // would order a sign-bit-set NaN (the hardware default for 0/0)
+        // BELOW every real number, letting it head posting lists and
+        // squat in the heap. As +inf it sorts last and any real distance
+        // evicts it.
+        let distance = if distance.is_nan() {
+            f64::INFINITY
+        } else {
+            distance
+        };
         if self.heap.len() < self.k {
             self.heap.push((distance, id));
         } else if let Some((worst_idx, worst)) = self
             .heap
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
             .map(|(i, v)| (i, *v))
         {
-            if distance < worst.0 {
+            // The kept set is the k smallest by (distance, id) — the id
+            // tie-break makes the result independent of candidate scan
+            // order, so exact and full-probe IVF scans (which visit
+            // candidates in different orders) keep identical sets even
+            // when distances tie at the boundary.
+            if distance.total_cmp(&worst.0).then(id.cmp(&worst.1)).is_lt() {
                 self.heap[worst_idx] = (distance, id);
             }
         }
     }
 
     pub(crate) fn into_sorted(mut self) -> Postings {
+        // total_cmp keeps the sort panic-free for any f64 (push already
+        // normalised NaN distances to +inf, so they rank last)
         self.heap
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         self.heap.into_iter().map(|(d, id)| (id, d)).collect()
     }
+}
+
+/// The per-key inverted-index construction loop shared by the
+/// [`crate::backend::AnnIndex`] trait default and [`crate::IvfIndex`]:
+/// search every key against one `search` closure. No candidates (or
+/// `k == 0`) yields an EMPTY index, not keys with empty posting lists —
+/// downstream emptiness checks rely on that contract.
+pub(crate) fn build_index_with(
+    search: impl Fn(&[f64], &[f64], usize, Option<u32>) -> Postings,
+    candidates_empty: bool,
+    keys: &MixedPointSet,
+    k: usize,
+    exclude_same_id: bool,
+) -> InvertedIndex {
+    let mut index = InvertedIndex::default();
+    if k == 0 || candidates_empty {
+        return index;
+    }
+    for i in 0..keys.len() {
+        let id = keys.id(i);
+        let exclude = if exclude_same_id { Some(id) } else { None };
+        index.insert(id, search(keys.point(i), keys.weight(i), k, exclude));
+    }
+    index
+}
+
+/// One exact top-K scan of a query point over a candidate set — the
+/// kernel shared by the bulk builder below and the per-query
+/// `ExactBackend::search` path, so the two can never diverge.
+pub(crate) fn scan_top_k(
+    candidates: &MixedPointSet,
+    query: &[f64],
+    query_weight: &[f64],
+    k: usize,
+    exclude_id: Option<u32>,
+) -> Postings {
+    let mut topk = TopK::new(k);
+    for j in 0..candidates.len() {
+        let cand_id = candidates.id(j);
+        if exclude_id == Some(cand_id) {
+            continue;
+        }
+        topk.push(candidates.distance_to(query, query_weight, j), cand_id);
+    }
+    topk.into_sorted()
 }
 
 /// Exact top-K search from every key to the candidate set.
@@ -107,16 +169,11 @@ pub fn build_exact_index(
         let mut out = Vec::with_capacity(end - start);
         for i in start..end {
             let key_id = keys.id(i);
-            let mut topk = TopK::new(k);
-            for j in 0..candidates.len() {
-                let cand_id = candidates.id(j);
-                if exclude_same_id && cand_id == key_id {
-                    continue;
-                }
-                let d = keys.distance_between(i, candidates, j);
-                topk.push(d, cand_id);
-            }
-            out.push((key_id, topk.into_sorted()));
+            let exclude = if exclude_same_id { Some(key_id) } else { None };
+            out.push((
+                key_id,
+                scan_top_k(candidates, keys.point(i), keys.weight(i), k, exclude),
+            ));
         }
         out
     };
@@ -154,22 +211,7 @@ pub fn build_exact_index(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amcad_manifold::{ProductManifold, SubspaceSpec};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_set(n: usize, seed: u64) -> MixedPointSet {
-        let manifold =
-            ProductManifold::new(vec![SubspaceSpec::new(3, -1.0), SubspaceSpec::new(3, 1.0)]);
-        let mut set = MixedPointSet::new(manifold.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in 0..n {
-            let tangent: Vec<f64> = (0..6).map(|_| rng.gen_range(-0.3..0.3)).collect();
-            let w0: f64 = rng.gen_range(0.2..0.8);
-            set.push(i as u32, &manifold.exp0(&tangent), &[w0, 1.0 - w0]);
-        }
-        set
-    }
+    use crate::test_util::random_set;
 
     #[test]
     fn index_contains_every_key_with_k_sorted_postings() {
@@ -241,6 +283,55 @@ mod tests {
         topk.push(2.0, 3);
         topk.push(0.5, 4);
         let sorted = topk.into_sorted();
-        assert_eq!(sorted.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![4, 2]);
+        assert_eq!(
+            sorted.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![4, 2]
+        );
+    }
+
+    #[test]
+    fn topk_tie_breaking_is_scan_order_independent() {
+        // equal distances at the top-K boundary: the kept set is the
+        // smallest (distance, id) pairs regardless of scan order, so
+        // exact and full-probe IVF scans agree even on ties
+        let permutations: [[(f64, u32); 3]; 3] = [
+            [(1.0, 5), (2.0, 9), (2.0, 3)],
+            [(2.0, 3), (2.0, 9), (1.0, 5)],
+            [(2.0, 9), (1.0, 5), (2.0, 3)],
+        ];
+        for order in permutations {
+            let mut topk = TopK::new(2);
+            for (d, id) in order {
+                topk.push(d, id);
+            }
+            let ids: Vec<u32> = topk.into_sorted().iter().map(|(id, _)| *id).collect();
+            assert_eq!(ids, vec![5, 3], "kept set must not depend on scan order");
+        }
+    }
+
+    #[test]
+    fn topk_evicts_nan_distances_for_real_candidates() {
+        // a corrupt (NaN) distance — of either sign bit, since hardware
+        // 0/0 yields a sign-bit-set NaN — must not panic, squat in the
+        // heap, or outrank any real candidate
+        for nan in [f64::NAN, -f64::NAN] {
+            let mut topk = TopK::new(2);
+            topk.push(5.0, 1);
+            topk.push(nan, 2);
+            topk.push(0.1, 3);
+            let sorted = topk.into_sorted();
+            assert_eq!(
+                sorted.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                vec![3, 1],
+                "the real 0.1 candidate must evict the NaN entry"
+            );
+            // all-NaN input still yields a full, non-panicking posting list
+            let mut all_nan = TopK::new(2);
+            all_nan.push(nan, 7);
+            all_nan.push(nan, 8);
+            all_nan.push(1.0, 9);
+            let sorted = all_nan.into_sorted();
+            assert_eq!(sorted.first().unwrap().0, 9, "real candidate ranks first");
+        }
     }
 }

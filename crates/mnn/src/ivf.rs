@@ -160,9 +160,14 @@ impl IvfIndex {
             .centroids
             .iter()
             .enumerate()
-            .map(|(c, centroid)| (sq_dist(&query_tangent, centroid), c))
+            .map(|(c, centroid)| {
+                let d = sq_dist(&query_tangent, centroid);
+                // corrupt (NaN) centroid distances rank last, regardless
+                // of NaN sign (total_cmp orders -NaN first)
+                (if d.is_nan() { f64::INFINITY } else { d }, c)
+            })
             .collect();
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut topk = TopK::new(k);
         for &(_, c) in order.iter().take(self.config.nprobe.max(1)) {
@@ -178,16 +183,21 @@ impl IvfIndex {
         topk.into_sorted()
     }
 
-    /// Build a full inverted index by searching every key of `keys`.
-    pub fn build_index(&self, keys: &MixedPointSet, k: usize, exclude_same_id: bool) -> InvertedIndex {
-        let mut index = InvertedIndex::default();
-        for i in 0..keys.len() {
-            let id = keys.id(i);
-            let exclude = if exclude_same_id { Some(id) } else { None };
-            let postings = self.search(keys.point(i), keys.weight(i), k, exclude);
-            index.insert(id, postings);
-        }
-        index
+    /// Build a full inverted index by searching every key of `keys`
+    /// (delegates to the shared per-key loop in `brute`).
+    pub fn build_index(
+        &self,
+        keys: &MixedPointSet,
+        k: usize,
+        exclude_same_id: bool,
+    ) -> InvertedIndex {
+        crate::brute::build_index_with(
+            |q, w, k, e| self.search(q, w, k, e),
+            self.is_empty(),
+            keys,
+            k,
+            exclude_same_id,
+        )
     }
 
     /// Tangent coordinates of candidate `i` (exposed for diagnostics).
@@ -225,21 +235,8 @@ pub fn recall_at_k(approx: &InvertedIndex, exact: &InvertedIndex, k: usize) -> f
 mod tests {
     use super::*;
     use crate::brute::build_exact_index;
+    use crate::test_util::random_set;
     use amcad_manifold::{ProductManifold, SubspaceSpec};
-    use rand::Rng;
-
-    fn random_set(n: usize, seed: u64) -> MixedPointSet {
-        let manifold =
-            ProductManifold::new(vec![SubspaceSpec::new(3, -1.0), SubspaceSpec::new(3, 1.0)]);
-        let mut set = MixedPointSet::new(manifold.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in 0..n {
-            let tangent: Vec<f64> = (0..6).map(|_| rng.gen_range(-0.3..0.3)).collect();
-            let w0: f64 = rng.gen_range(0.2..0.8);
-            set.push(i as u32, &manifold.exp0(&tangent), &[w0, 1.0 - w0]);
-        }
-        set
-    }
 
     #[test]
     fn probing_all_clusters_reproduces_exact_results() {
@@ -257,7 +254,10 @@ mod tests {
         );
         let approx = ivf.build_index(&keys, 5, false);
         let recall = recall_at_k(&approx, &exact, 5);
-        assert!((recall - 1.0).abs() < 1e-12, "full probing must be exact, got {recall}");
+        assert!(
+            (recall - 1.0).abs() < 1e-12,
+            "full probing must be exact, got {recall}"
+        );
     }
 
     #[test]
@@ -276,7 +276,10 @@ mod tests {
         );
         let approx = ivf.build_index(&keys, 10, false);
         let recall = recall_at_k(&approx, &exact, 10);
-        assert!(recall > 0.5, "nprobe=4/16 should recover most neighbours, got {recall}");
+        assert!(
+            recall > 0.5,
+            "nprobe=4/16 should recover most neighbours, got {recall}"
+        );
         assert!(recall <= 1.0 + 1e-12);
     }
 
@@ -295,7 +298,9 @@ mod tests {
     fn clusters_partition_the_candidates() {
         let set = random_set(80, 8);
         let ivf = IvfIndex::build(set, IvfConfig::default());
-        let total: usize = (0..ivf.centroids.len()).map(|c| ivf.clusters[c].len()).sum();
+        let total: usize = (0..ivf.centroids.len())
+            .map(|c| ivf.clusters[c].len())
+            .sum();
         assert_eq!(total, ivf.len());
         assert!(ivf.non_empty_clusters() > 1);
     }

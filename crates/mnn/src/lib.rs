@@ -6,16 +6,46 @@
 //!
 //! * [`MixedPointSet`] — flat storage of points of one edge space plus their
 //!   precomputed attention weights,
-//! * [`build_exact_index`] — multi-threaded exact top-K scan (the paper's
-//!   OpenMP + SIMD parallel brute force),
-//! * [`IvfIndex`] — an inverted-file approximate index whose coarse
-//!   quantiser lives in the shared tangent space, with recall measurement
-//!   against the exact index ([`recall_at_k`]).
+//! * [`AnnIndex`] — the pluggable backend trait: per-query top-K search
+//!   plus bulk inverted-index construction over any candidate set,
+//! * [`ExactBackend`] / [`build_exact_index`] — multi-threaded exact top-K
+//!   scan (the paper's OpenMP + SIMD parallel brute force),
+//! * [`IvfBackend`] / [`IvfIndex`] — an inverted-file approximate index
+//!   whose coarse quantiser lives in the shared tangent space, with recall
+//!   measurement against the exact index ([`recall_at_k`]),
+//! * [`IndexBackend`] — the configuration enum downstream code uses to
+//!   select a backend (`Exact` or `Ivf(IvfConfig)`).
 
+pub mod backend;
 pub mod brute;
 pub mod ivf;
 pub mod points;
 
+pub use backend::{AnnIndex, ExactBackend, IndexBackend, IvfBackend};
 pub use brute::{build_exact_index, InvertedIndex, Postings};
 pub use ivf::{recall_at_k, IvfConfig, IvfIndex};
 pub use points::MixedPointSet;
+
+/// Shared fixture for this crate's unit-test modules: `n` random points
+/// on one hyperbolic x spherical product manifold. (The integration test
+/// in `tests/` keeps its own copy — `pub(crate)` is invisible there.)
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::points::MixedPointSet;
+    use amcad_manifold::{ProductManifold, SubspaceSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    pub(crate) fn random_set(n: usize, seed: u64) -> MixedPointSet {
+        let manifold =
+            ProductManifold::new(vec![SubspaceSpec::new(3, -1.0), SubspaceSpec::new(3, 1.0)]);
+        let mut set = MixedPointSet::new(manifold.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let tangent: Vec<f64> = (0..6).map(|_| rng.gen_range(-0.3..0.3)).collect();
+            let w0: f64 = rng.gen_range(0.2..0.8);
+            set.push(i as u32, &manifold.exp0(&tangent), &[w0, 1.0 - w0]);
+        }
+        set
+    }
+}

@@ -48,7 +48,11 @@ impl MixedPointSet {
     /// Add a point.  `point` must have the manifold's total dimension and
     /// `weight` one entry per subspace.
     pub fn push(&mut self, id: u32, point: &[f64], weight: &[f64]) {
-        assert_eq!(point.len(), self.manifold.total_dim(), "point dimension mismatch");
+        assert_eq!(
+            point.len(),
+            self.manifold.total_dim(),
+            "point dimension mismatch"
+        );
         assert_eq!(
             weight.len(),
             self.manifold.num_subspaces(),

@@ -1,0 +1,86 @@
+//! Backend-parity properties: the IVF backend degrades gracefully from
+//! "identical to exact" (full probing) to "high recall" (partial probing).
+
+use amcad_manifold::{ProductManifold, SubspaceSpec};
+use amcad_mnn::{recall_at_k, AnnIndex, ExactBackend, IndexBackend, IvfConfig, MixedPointSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_set(n: usize, seed: u64) -> MixedPointSet {
+    let manifold =
+        ProductManifold::new(vec![SubspaceSpec::new(3, -1.0), SubspaceSpec::new(3, 1.0)]);
+    let mut set = MixedPointSet::new(manifold.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let tangent: Vec<f64> = (0..6).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let w0: f64 = rng.gen_range(0.2..0.8);
+        set.push(i as u32, &manifold.exp0(&tangent), &[w0, 1.0 - w0]);
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With `nprobe == num_clusters` every cluster is scanned, so the IVF
+    /// backend must return posting lists identical to the exact backend
+    /// (same ids, same distances) for any point set and key set.
+    #[test]
+    fn full_probe_ivf_equals_exact(
+        seed in 0u64..1_000,
+        n_cands in 20usize..120,
+        n_keys in 5usize..25,
+        num_clusters in 2usize..12,
+        k in 1usize..8,
+    ) {
+        let cands = random_set(n_cands, seed);
+        let keys = random_set(n_keys, seed.wrapping_add(1));
+
+        let exact = ExactBackend::new(cands.clone(), 1).build_index(&keys, k, false);
+        let ivf_backend = IndexBackend::Ivf(IvfConfig {
+            num_clusters,
+            kmeans_iters: 4,
+            nprobe: num_clusters, // probe everything
+            seed: seed ^ 0xABCD,
+        })
+        .instantiate(cands, 1);
+        let ivf = ivf_backend.build_index(&keys, k, false);
+
+        prop_assert_eq!(exact.len(), ivf.len());
+        for (key, exact_postings) in exact.iter() {
+            let ivf_postings = ivf.get(*key).expect("every key must be indexed");
+            prop_assert_eq!(exact_postings.len(), ivf_postings.len());
+            for (a, b) in exact_postings.iter().zip(ivf_postings) {
+                prop_assert_eq!(a.0, b.0, "posting ids must match for key {}", key);
+                prop_assert!((a.1 - b.1).abs() < 1e-12, "distances must match exactly");
+            }
+        }
+    }
+}
+
+/// Partial probing on a well-seeded point set keeps recall@10 high: this
+/// is the quality bar that makes the IVF backend a usable serving option.
+#[test]
+fn partial_probe_recall_at_10_is_at_least_0_8() {
+    let cands = random_set(400, 42);
+    let keys = random_set(60, 43);
+    let k = 10;
+
+    let exact = ExactBackend::new(cands.clone(), 2).build_index(&keys, k, false);
+    let ivf = IndexBackend::Ivf(IvfConfig {
+        num_clusters: 16,
+        kmeans_iters: 8,
+        nprobe: 6,
+        seed: 44,
+    })
+    .instantiate(cands, 1)
+    .build_index(&keys, k, false);
+
+    let recall = recall_at_k(&ivf, &exact, k);
+    assert!(
+        recall >= 0.8,
+        "IVF nprobe=6/16 should keep recall@10 >= 0.8, got {recall:.3}"
+    );
+    assert!(recall <= 1.0 + 1e-12);
+}

@@ -169,7 +169,16 @@ impl SgnsModel {
                     if neg == v.index() {
                         continue;
                     }
-                    sgns_update(&mut emb, &mut ctx, dim, u.index(), neg, false, lr, use_context);
+                    sgns_update(
+                        &mut emb,
+                        &mut ctx,
+                        dim,
+                        u.index(),
+                        neg,
+                        false,
+                        lr,
+                        use_context,
+                    );
                 }
             }
         }
@@ -271,7 +280,14 @@ fn generate_pairs(
             walk_length,
             walks_per_node,
             window,
-        } => walk_pairs(graph, *walk_length, *walks_per_node, *window, Some((*p, *q)), rng),
+        } => walk_pairs(
+            graph,
+            *walk_length,
+            *walks_per_node,
+            *window,
+            Some((*p, *q)),
+            rng,
+        ),
         WalkStrategy::LineFirst | WalkStrategy::LineSecond => {
             let mut pairs = Vec::new();
             for node in graph.all_nodes() {
@@ -407,7 +423,9 @@ mod tests {
             assert_eq!(model.dim(), 8);
             let e = model.embedding(d.query_nodes[0]);
             assert!(e.iter().all(|x| x.is_finite()), "{}", strategy.name());
-            assert!(model.score_pair(d.query_nodes[0], d.item_nodes[0]).is_finite());
+            assert!(model
+                .score_pair(d.query_nodes[0], d.item_nodes[0])
+                .is_finite());
         }
     }
 

@@ -8,8 +8,8 @@
 //! ablations of Table VII.  Experiments therefore differ only in the preset
 //! they instantiate, never in separate model code paths.
 
-use amcad_manifold::SpaceKind;
 use amcad_autodiff::OptimizerConfig;
+use amcad_manifold::SpaceKind;
 
 /// Specification of one subspace of the mixed-curvature product space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +52,8 @@ impl SubspaceCfg {
 
     /// Initial curvature value.
     pub fn initial_kappa(&self) -> f64 {
-        self.init_kappa.unwrap_or_else(|| self.kind.default_curvature())
+        self.init_kappa
+            .unwrap_or_else(|| self.kind.default_curvature())
     }
 
     /// Whether the curvature of this subspace is trained.
@@ -167,7 +168,10 @@ impl AmcadConfig {
     pub fn amcad(feature_dim: usize, seed: u64) -> Self {
         Self::base(
             "AMCAD",
-            vec![SubspaceCfg::unified(2 * feature_dim), SubspaceCfg::unified(2 * feature_dim)],
+            vec![
+                SubspaceCfg::unified(2 * feature_dim),
+                SubspaceCfg::unified(2 * feature_dim),
+            ],
             feature_dim,
             seed,
         )
@@ -369,7 +373,10 @@ mod tests {
 
     #[test]
     fn subspace_cfg_kappa_defaults() {
-        assert_eq!(SubspaceCfg::fixed(4, SpaceKind::Hyperbolic).initial_kappa(), -1.0);
+        assert_eq!(
+            SubspaceCfg::fixed(4, SpaceKind::Hyperbolic).initial_kappa(),
+            -1.0
+        );
         assert_eq!(SubspaceCfg::with_kappa(4, 0.7).initial_kappa(), 0.7);
         assert!(SubspaceCfg::unified(4).trainable_kappa());
         assert!(!SubspaceCfg::with_kappa(4, 0.7).trainable_kappa());

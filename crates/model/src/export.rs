@@ -286,7 +286,10 @@ mod tests {
     fn ad_ad_pairs_have_no_space() {
         let (d, export) = exported();
         assert!(export.distance(d.ad_nodes[0], d.ad_nodes[1]).is_none());
-        assert_eq!(export.score_pair(d.ad_nodes[0], d.ad_nodes[1]), f64::NEG_INFINITY);
+        assert_eq!(
+            export.score_pair(d.ad_nodes[0], d.ad_nodes[1]),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

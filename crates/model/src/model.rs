@@ -52,9 +52,9 @@ pub struct AmcadModel {
     edge_kappas: HashMap<EdgeKappaKey, DenseId>,
     shared_edge_kappas: Vec<DenseId>, // per subspace, used when edge_projection = false
     gcn_weights: HashMap<(usize, usize, usize), DenseId>, // (subspace, type, layer)
-    fusion_weights: HashMap<(usize, usize), DenseId>,     // (subspace, type)
-    proj_weights: HashMap<(usize, usize), DenseId>,       // (subspace, type)
-    attn_weights: HashMap<usize, DenseId>,                // per type
+    fusion_weights: HashMap<(usize, usize), DenseId>, // (subspace, type)
+    proj_weights: HashMap<(usize, usize), DenseId>, // (subspace, type)
+    attn_weights: HashMap<usize, DenseId>, // per type
 }
 
 /// A node embedded in the product space: one tape variable per subspace,
@@ -266,7 +266,8 @@ impl AmcadModel {
     /// Current edge-level curvature of subspace `m` for relation `kind`.
     pub fn edge_kappa(&self, m: usize, kind: RelationKind) -> f64 {
         if self.config.edge_projection {
-            self.store.scalar_value(self.edge_kappas[&(m, kind.index())])
+            self.store
+                .scalar_value(self.edge_kappas[&(m, kind.index())])
         } else {
             self.store.scalar_value(self.shared_edge_kappas[m])
         }
@@ -306,7 +307,13 @@ impl AmcadModel {
     /// Inductive feature embedding of a node in subspace `m` (Eq. 4): the
     /// concatenated ID / category / term feature embeddings, exponentially
     /// mapped into the subspace.
-    fn inductive_embedding(&mut self, ctx: &mut Ctx, graph: &HeteroGraph, node: NodeId, m: usize) -> Var {
+    fn inductive_embedding(
+        &mut self,
+        ctx: &mut Ctx,
+        graph: &HeteroGraph,
+        node: NodeId,
+        m: usize,
+    ) -> Var {
         let t = self.node_types[node.index()];
         let id_table = self.id_tables[&(t.index(), m)];
         let cat_table = self.cat_tables[m];
@@ -497,7 +504,12 @@ impl AmcadModel {
 
     /// Node-level attention weights over subspaces (Eq. 12–13), computed
     /// from the projected points.  Returns a softmax row vector of length M.
-    pub fn attention_weights(&mut self, ctx: &mut Ctx, node_type: NodeType, projected: &[Var]) -> Var {
+    pub fn attention_weights(
+        &mut self,
+        ctx: &mut Ctx,
+        node_type: NodeType,
+        projected: &[Var],
+    ) -> Var {
         let m_count = projected.len();
         if !self.config.attention_combination {
             // uniform weights summing to 1 (a constant — no gradient path).
@@ -557,12 +569,13 @@ impl AmcadModel {
     pub fn sample_loss(&mut self, ctx: &mut Ctx, graph: &HeteroGraph, sample: &TrainSample) -> Var {
         let src = self.encode_node(ctx, graph, sample.src);
         let pos = self.encode_node(ctx, graph, sample.pos);
-        let kind = RelationKind::between(src.node_type, pos.node_type)
-            .unwrap_or(RelationKind::QueryItem);
+        let kind =
+            RelationKind::between(src.node_type, pos.node_type).unwrap_or(RelationKind::QueryItem);
 
         let lc = self.config.loss;
         let d_pos = self.score_distance(ctx, &src, &pos, kind);
-        let sim_pos = mops::fermi_dirac(&mut ctx.tape, d_pos, lc.fermi_radius, lc.fermi_temperature);
+        let sim_pos =
+            mops::fermi_dirac(&mut ctx.tape, d_pos, lc.fermi_radius, lc.fermi_temperature);
 
         let mut triplet_terms = Vec::with_capacity(sample.negs.len());
         let mut reg_terms = vec![
@@ -593,7 +606,12 @@ impl AmcadModel {
     }
 
     /// Run one optimisation step over a batch of training samples.
-    pub fn train_step(&mut self, graph: &HeteroGraph, samples: &[TrainSample], step_seed: u64) -> StepStats {
+    pub fn train_step(
+        &mut self,
+        graph: &HeteroGraph,
+        samples: &[TrainSample],
+        step_seed: u64,
+    ) -> StepStats {
         assert!(!samples.is_empty(), "empty training batch");
         let mut ctx = self.begin_batch(step_seed);
         let mut losses = Vec::with_capacity(samples.len());
@@ -623,16 +641,19 @@ impl AmcadModel {
             for t in NodeType::ALL {
                 let id = self.node_kappas[&(m, t.index())];
                 let v = self.store.scalar_value(id);
-                self.store.set_scalar_value(id, sub.kind.clamp(v.clamp(-5.0, 5.0)));
+                self.store
+                    .set_scalar_value(id, sub.kind.clamp(v.clamp(-5.0, 5.0)));
             }
             for r in RelationKind::ALL {
                 let id = self.edge_kappas[&(m, r.index())];
                 let v = self.store.scalar_value(id);
-                self.store.set_scalar_value(id, sub.kind.clamp(v.clamp(-5.0, 5.0)));
+                self.store
+                    .set_scalar_value(id, sub.kind.clamp(v.clamp(-5.0, 5.0)));
             }
             let id = self.shared_edge_kappas[m];
             let v = self.store.scalar_value(id);
-            self.store.set_scalar_value(id, sub.kind.clamp(v.clamp(-5.0, 5.0)));
+            self.store
+                .set_scalar_value(id, sub.kind.clamp(v.clamp(-5.0, 5.0)));
         }
     }
 
@@ -643,8 +664,8 @@ impl AmcadModel {
         let mut ctx = self.begin_batch(seed);
         let ea = self.encode_node(&mut ctx, graph, a);
         let eb = self.encode_node(&mut ctx, graph, b);
-        let kind = RelationKind::between(ea.node_type, eb.node_type)
-            .unwrap_or(RelationKind::QueryItem);
+        let kind =
+            RelationKind::between(ea.node_type, eb.node_type).unwrap_or(RelationKind::QueryItem);
         let d = self.score_distance(&mut ctx, &ea, &eb, kind);
         ctx.tape.value(d).scalar_value()
     }
@@ -729,7 +750,9 @@ mod tests {
         assert!(!samples.is_empty());
         let first = model.train_step(&d.graph, &samples, 0);
         let mut last = first;
-        for step in 1..15 {
+        // enough steps that AdaGrad settles regardless of which batch the
+        // seed draws (early steps can overshoot on hard batches)
+        for step in 1..60 {
             last = model.train_step(&d.graph, &samples, step);
         }
         assert!(
@@ -786,7 +809,11 @@ mod tests {
         ] {
             let mut model = AmcadModel::new(cfg.clone(), &d.graph);
             let stats = model.train_step(&d.graph, &samples, 0);
-            assert!(stats.loss.is_finite(), "loss must be finite for {}", cfg.name);
+            assert!(
+                stats.loss.is_finite(),
+                "loss must be finite for {}",
+                cfg.name
+            );
         }
     }
 }

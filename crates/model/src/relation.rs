@@ -119,7 +119,9 @@ mod tests {
         assert_eq!(RelationKind::QueryQuery.name(), "Q2Q");
         assert_eq!(RelationKind::ItemAd.name(), "I2A");
         assert_eq!(
-            RelationKind::between(NodeType::Item, NodeType::Query).unwrap().name(),
+            RelationKind::between(NodeType::Item, NodeType::Query)
+                .unwrap()
+                .name(),
             "Q2I"
         );
     }

@@ -128,9 +128,7 @@ impl Trainer {
         model: &mut AmcadModel,
         days: &[&HeteroGraph],
     ) -> Vec<TrainReport> {
-        days.iter()
-            .map(|graph| self.run(model, graph))
-            .collect()
+        days.iter().map(|graph| self.run(model, graph)).collect()
     }
 }
 

@@ -1,0 +1,75 @@
+//! Typed errors for engine construction and retrieval.
+//!
+//! The original entry points silently returned empty ad lists (or panicked
+//! on NaN sorts); the engine API surfaces those situations as values so the
+//! serving layer can count, log and shed them explicitly.
+
+use std::fmt;
+
+use crate::engine::RetrievalStats;
+
+/// Everything that can go wrong building or querying a
+/// [`crate::RetrievalEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetrievalError {
+    /// A configuration value makes the engine unusable (zero `top_k`,
+    /// zero workers, ...). Carries a human-readable reason.
+    InvalidConfig(String),
+    /// Index construction produced an engine that can never serve an ad
+    /// (both ad-side indices are empty). Carries the offending index
+    /// names.
+    EmptyIndex {
+        /// Which indices were empty (e.g. `"q2a+i2a"`).
+        indices: &'static str,
+    },
+    /// A request produced no ads: the query is unknown to every index and
+    /// no pre-click item provided coverage.
+    NoCoverage {
+        /// The query node id of the uncovered request.
+        query: u32,
+        /// The work the request still performed — tells an operator
+        /// whether the query expanded to no keys at all or to keys with
+        /// empty ad posting lists.
+        stats: RetrievalStats,
+    },
+}
+
+impl fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrievalError::InvalidConfig(reason) => {
+                write!(f, "invalid retrieval configuration: {reason}")
+            }
+            RetrievalError::EmptyIndex { indices } => {
+                write!(f, "index build produced empty ad indices ({indices}); the engine could never serve an ad")
+            }
+            RetrievalError::NoCoverage { query, stats } => {
+                write!(
+                    f,
+                    "no coverage for query {query}: {} keys expanded, {} postings scanned, no ad reached",
+                    stats.keys_expanded, stats.postings_scanned
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = RetrievalError::NoCoverage {
+            query: 42,
+            stats: RetrievalStats::default(),
+        };
+        assert!(e.to_string().contains("42"));
+        let e = RetrievalError::InvalidConfig("top_k must be positive".into());
+        assert!(e.to_string().contains("top_k"));
+        let e = RetrievalError::EmptyIndex { indices: "q2a+i2a" };
+        assert!(e.to_string().contains("q2a+i2a"));
+    }
+}

@@ -6,7 +6,7 @@
 //! (queries / items / ads projected into the Q-Q, Q-I, Q-A, I-I and I-A
 //! spaces with their precomputed attention weights).
 
-use amcad_mnn::{build_exact_index, InvertedIndex, MixedPointSet};
+use amcad_mnn::{IndexBackend, InvertedIndex, MixedPointSet};
 
 /// Point sets needed to build all six indices.  Indices that swap key and
 /// candidate (Q2I / I2Q) share the same underlying edge space, so queries
@@ -36,13 +36,19 @@ pub struct IndexBuildInputs {
 pub struct IndexBuildConfig {
     /// Posting-list length (nearest K kept per key).
     pub top_k: usize,
-    /// Worker threads for the exact scan.
+    /// Worker threads for backends with a parallel bulk path.
     pub threads: usize,
+    /// ANN backend used to build every index (exact scan or IVF).
+    pub backend: IndexBackend,
 }
 
 impl Default for IndexBuildConfig {
     fn default() -> Self {
-        IndexBuildConfig { top_k: 20, threads: 4 }
+        IndexBuildConfig {
+            top_k: 20,
+            threads: 4,
+            backend: IndexBackend::Exact,
+        }
     }
 }
 
@@ -64,68 +70,62 @@ pub struct IndexSet {
 }
 
 impl IndexSet {
-    /// Build all six indices with the exact multi-threaded MNN scan.
+    /// Build all six indices with the configured ANN backend (exact
+    /// multi-threaded MNN scan by default, IVF when selected).
     pub fn build(inputs: &IndexBuildInputs, config: IndexBuildConfig) -> IndexSet {
         let k = config.top_k;
         let t = config.threads;
+        let build = |keys: &MixedPointSet, candidates: &MixedPointSet, exclude_same: bool| {
+            config
+                .backend
+                .build_index(keys, candidates, k, exclude_same, t)
+        };
         IndexSet {
-            q2q: build_exact_index(&inputs.queries_qq, &inputs.queries_qq, k, true, t),
-            q2i: build_exact_index(&inputs.queries_qi, &inputs.items_qi, k, false, t),
-            i2q: build_exact_index(&inputs.items_qi, &inputs.queries_qi, k, false, t),
-            i2i: build_exact_index(&inputs.items_ii, &inputs.items_ii, k, true, t),
-            q2a: build_exact_index(&inputs.queries_qa, &inputs.ads_qa, k, false, t),
-            i2a: build_exact_index(&inputs.items_ia, &inputs.ads_ia, k, false, t),
+            q2q: build(&inputs.queries_qq, &inputs.queries_qq, true),
+            q2i: build(&inputs.queries_qi, &inputs.items_qi, false),
+            i2q: build(&inputs.items_qi, &inputs.queries_qi, false),
+            i2i: build(&inputs.items_ii, &inputs.items_ii, true),
+            q2a: build(&inputs.queries_qa, &inputs.ads_qa, false),
+            i2a: build(&inputs.items_ia, &inputs.ads_ia, false),
         }
     }
 
     /// Total number of posting lists across the six indices.
     pub fn total_keys(&self) -> usize {
-        self.q2q.len() + self.q2i.len() + self.i2q.len() + self.i2i.len() + self.q2a.len() + self.i2a.len()
+        self.q2q.len()
+            + self.q2i.len()
+            + self.i2q.len()
+            + self.i2i.len()
+            + self.q2a.len()
+            + self.i2a.len()
     }
 
     /// Total number of postings across the six indices.
     pub fn total_postings(&self) -> usize {
-        [&self.q2q, &self.q2i, &self.i2q, &self.i2i, &self.q2a, &self.i2a]
-            .iter()
-            .map(|idx| idx.iter().map(|(_, p)| p.len()).sum::<usize>())
-            .sum()
+        [
+            &self.q2q, &self.q2i, &self.i2q, &self.i2i, &self.q2a, &self.i2a,
+        ]
+        .iter()
+        .map(|idx| idx.iter().map(|(_, p)| p.len()).sum::<usize>())
+        .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amcad_manifold::{ProductManifold, SubspaceSpec};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_points(ids: std::ops::Range<u32>, seed: u64) -> MixedPointSet {
-        let manifold = ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
-        let mut set = MixedPointSet::new(manifold.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
-        for id in ids {
-            let tangent: Vec<f64> = (0..4).map(|_| rng.gen_range(-0.3..0.3)).collect();
-            set.push(id, &manifold.exp0(&tangent), &[0.5, 0.5]);
-        }
-        set
-    }
-
-    pub(crate) fn tiny_inputs() -> IndexBuildInputs {
-        IndexBuildInputs {
-            queries_qq: random_points(0..10, 1),
-            queries_qi: random_points(0..10, 2),
-            items_qi: random_points(100..140, 3),
-            queries_qa: random_points(0..10, 4),
-            ads_qa: random_points(200..220, 5),
-            items_ii: random_points(100..140, 6),
-            items_ia: random_points(100..140, 7),
-            ads_ia: random_points(200..220, 8),
-        }
-    }
+    use crate::test_fixtures::tiny_inputs;
 
     #[test]
     fn build_produces_all_six_indices_with_expected_key_counts() {
-        let set = IndexSet::build(&tiny_inputs(), IndexBuildConfig { top_k: 5, threads: 2 });
+        let set = IndexSet::build(
+            &tiny_inputs(),
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(set.q2q.len(), 10);
         assert_eq!(set.q2i.len(), 10);
         assert_eq!(set.i2q.len(), 40);
@@ -138,7 +138,14 @@ mod tests {
 
     #[test]
     fn self_indices_exclude_the_key_itself() {
-        let set = IndexSet::build(&tiny_inputs(), IndexBuildConfig { top_k: 5, threads: 1 });
+        let set = IndexSet::build(
+            &tiny_inputs(),
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                ..Default::default()
+            },
+        );
         for (key, postings) in set.q2q.iter() {
             assert!(postings.iter().all(|(c, _)| c != key));
         }
@@ -148,8 +155,48 @@ mod tests {
     }
 
     #[test]
+    fn ivf_backend_builds_all_six_indices_and_full_probe_matches_exact() {
+        use amcad_mnn::IvfConfig;
+        let inputs = tiny_inputs();
+        let exact = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let ivf = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                backend: IndexBackend::Ivf(IvfConfig {
+                    num_clusters: 4,
+                    kmeans_iters: 4,
+                    nprobe: 4, // probe everything: must match the exact scan
+                    seed: 7,
+                }),
+            },
+        );
+        assert_eq!(exact.total_keys(), ivf.total_keys());
+        for (key, postings) in exact.q2a.iter() {
+            let other = ivf.q2a.get(*key).unwrap();
+            let ids = |p: &amcad_mnn::Postings| p.iter().map(|(id, _)| *id).collect::<Vec<_>>();
+            assert_eq!(ids(postings), ids(other));
+        }
+    }
+
+    #[test]
     fn cross_indices_point_at_the_candidate_id_range() {
-        let set = IndexSet::build(&tiny_inputs(), IndexBuildConfig { top_k: 5, threads: 1 });
+        let set = IndexSet::build(
+            &tiny_inputs(),
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                ..Default::default()
+            },
+        );
         for (_, postings) in set.q2a.iter() {
             assert!(postings.iter().all(|(c, _)| (200..220).contains(c)));
         }

@@ -3,17 +3,87 @@
 //! The two-layer online advertisement retrieval framework of AMCAD
 //! (Section IV-C) and a serving-load simulator.
 //!
+//! * [`RetrievalEngine`] — the production entry point: built through a
+//!   builder with a pluggable ANN backend, it serves single requests and
+//!   batches with typed errors ([`RetrievalError`]) and per-request
+//!   [`RetrievalStats`],
 //! * [`IndexSet`] — the six inverted indices (Q2Q, Q2I, I2Q, I2I, Q2A, I2A)
-//!   built offline with the MNN module,
-//! * [`TwoLayerRetriever`] — layer 1 expands the raw query and pre-click
-//!   items into related queries/items, layer 2 retrieves and merges ads,
+//!   built offline with any [`amcad_mnn::AnnIndex`] backend,
+//! * [`TwoLayerRetriever`] — the bare layer logic: layer 1 expands the raw
+//!   query and pre-click items into related queries/items, layer 2
+//!   retrieves and merges ads,
 //! * [`ServingSimulator`] — an open-loop load generator measuring response
-//!   time versus offered QPS (Fig. 9).
+//!   time versus offered QPS (Fig. 9) over an engine.
+//!
+//! ## Building an engine
+//!
+//! ```no_run
+//! use amcad_retrieval::{RetrievalEngine, RetrievalConfig, Request};
+//! use amcad_mnn::{IndexBackend, IvfConfig};
+//! # fn index_inputs() -> amcad_retrieval::IndexBuildInputs { unimplemented!() }
+//!
+//! let engine = RetrievalEngine::builder()
+//!     .backend(IndexBackend::Ivf(IvfConfig::default())) // or IndexBackend::Exact
+//!     .top_k(20)
+//!     .retrieval(RetrievalConfig::default())
+//!     .build(&index_inputs())?;
+//!
+//! let response = engine.retrieve(&Request { query: 42, preclick_items: vec![7, 9] })?;
+//! for ad in &response.ads {
+//!     println!("ad {} score {:.3}", ad.ad, ad.score);
+//! }
+//! println!("coverage: {:?}, postings scanned: {}",
+//!     response.stats.coverage, response.stats.postings_scanned);
+//! # Ok::<(), amcad_retrieval::RetrievalError>(())
+//! ```
 
+pub mod engine;
+pub mod error;
 pub mod index_set;
 pub mod retriever;
 pub mod serving;
 
+pub use engine::{
+    CoverageSource, Request, RetrievalEngine, RetrievalEngineBuilder, RetrievalResponse,
+    RetrievalStats,
+};
+pub use error::RetrievalError;
 pub use index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
 pub use retriever::{RetrievalConfig, RetrievedAd, TwoLayerRetriever};
-pub use serving::{LoadReport, Request, ServingConfig, ServingSimulator};
+pub use serving::{LoadReport, ServingConfig, ServingSimulator};
+
+/// Shared fixtures for this crate's test modules: one tiny deterministic
+/// world (queries 0..10, items 100..140, ads 200..220).
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use crate::index_set::IndexBuildInputs;
+    use amcad_manifold::{ProductManifold, SubspaceSpec};
+    use amcad_mnn::MixedPointSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    pub(crate) fn random_points(ids: std::ops::Range<u32>, seed: u64) -> MixedPointSet {
+        let manifold =
+            ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
+        let mut set = MixedPointSet::new(manifold.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in ids {
+            let tangent: Vec<f64> = (0..4).map(|_| rng.gen_range(-0.3..0.3)).collect();
+            set.push(id, &manifold.exp0(&tangent), &[0.5, 0.5]);
+        }
+        set
+    }
+
+    pub(crate) fn tiny_inputs() -> IndexBuildInputs {
+        IndexBuildInputs {
+            queries_qq: random_points(0..10, 1),
+            queries_qi: random_points(0..10, 2),
+            items_qi: random_points(100..140, 3),
+            queries_qa: random_points(0..10, 4),
+            ads_qa: random_points(200..220, 5),
+            items_ii: random_points(100..140, 6),
+            items_ia: random_points(100..140, 7),
+            ads_ia: random_points(200..220, 8),
+        }
+    }
+}

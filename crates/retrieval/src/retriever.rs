@@ -7,9 +7,14 @@
 //! extra layer is traffic coverage: rewriting the query into several related
 //! queries and items lets the system serve requests whose raw query has a
 //! thin (or empty) Q2A posting list.
+//!
+//! [`TwoLayerRetriever`] is the layer logic; production callers go through
+//! [`crate::RetrievalEngine`], which adds backend selection, typed errors,
+//! batching and per-request statistics on top.
 
 use std::collections::HashMap;
 
+use crate::engine::{CoverageSource, RetrievalStats};
 use crate::index_set::IndexSet;
 
 /// Configuration of the two-layer retrieval.
@@ -33,12 +38,26 @@ impl Default for RetrievalConfig {
     }
 }
 
-/// An expanded retrieval key: either a query node or an item node, with the
-/// weight it contributes to ads retrieved through it.
+/// Where a first-layer key came from — determines the coverage source
+/// reported for the ads it retrieves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyOrigin {
+    /// The raw query of the request.
+    RawQuery,
+    /// Expansion of the raw query through Q2Q / Q2I.
+    QueryExpansion,
+    /// A pre-click item, or its expansion through I2Q / I2I.
+    Preclick,
+}
+
+/// An expanded retrieval key: a query or item node, the weight it
+/// contributes to ads retrieved through it, and its provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Key {
-    Query(u32, f64),
-    Item(u32, f64),
+struct Key {
+    id: u32,
+    weight: f64,
+    is_item: bool,
+    origin: KeyOrigin,
 }
 
 /// A retrieved ad with its merged score (higher = better).
@@ -58,8 +77,14 @@ pub struct TwoLayerRetriever {
 }
 
 /// Convert a mixed-curvature distance into a bounded similarity score.
+/// A NaN distance (corrupt posting) maps to score 0 so it can never
+/// outrank a real candidate; `.max(0.0)` would silently discard the NaN
+/// and hand it the maximum score instead.
 #[inline]
 fn distance_to_score(distance: f64) -> f64 {
+    if distance.is_nan() {
+        return 0.0;
+    }
     1.0 / (1.0 + distance.max(0.0))
 }
 
@@ -80,52 +105,103 @@ impl TwoLayerRetriever {
     }
 
     /// First layer: expand the raw query and pre-click items into a weighted
-    /// key set.
-    fn expand_keys(&self, query: u32, preclick_items: &[u32]) -> Vec<Key> {
+    /// key set. Counts postings scanned into `stats`.
+    fn expand_keys(
+        &self,
+        query: u32,
+        preclick_items: &[u32],
+        stats: &mut RetrievalStats,
+    ) -> Vec<Key> {
         let k = self.config.expansion_per_index;
         let mut keys: Vec<Key> = Vec::new();
         // the raw query itself carries full weight
-        keys.push(Key::Query(query, 1.0));
+        keys.push(Key {
+            id: query,
+            weight: 1.0,
+            is_item: false,
+            origin: KeyOrigin::RawQuery,
+        });
         if let Some(postings) = self.indexes.q2q.get(query) {
             for (q, d) in postings.iter().take(k) {
-                keys.push(Key::Query(*q, distance_to_score(*d)));
+                stats.postings_scanned += 1;
+                keys.push(Key {
+                    id: *q,
+                    weight: distance_to_score(*d),
+                    is_item: false,
+                    origin: KeyOrigin::QueryExpansion,
+                });
             }
         }
         if let Some(postings) = self.indexes.q2i.get(query) {
             for (i, d) in postings.iter().take(k) {
-                keys.push(Key::Item(*i, distance_to_score(*d)));
+                stats.postings_scanned += 1;
+                keys.push(Key {
+                    id: *i,
+                    weight: distance_to_score(*d),
+                    is_item: true,
+                    origin: KeyOrigin::QueryExpansion,
+                });
             }
         }
         for &item in preclick_items {
-            keys.push(Key::Item(item, 1.0));
+            keys.push(Key {
+                id: item,
+                weight: 1.0,
+                is_item: true,
+                origin: KeyOrigin::Preclick,
+            });
             if let Some(postings) = self.indexes.i2q.get(item) {
                 for (q, d) in postings.iter().take(k) {
-                    keys.push(Key::Query(*q, 0.8 * distance_to_score(*d)));
+                    stats.postings_scanned += 1;
+                    keys.push(Key {
+                        id: *q,
+                        weight: 0.8 * distance_to_score(*d),
+                        is_item: false,
+                        origin: KeyOrigin::Preclick,
+                    });
                 }
             }
             if let Some(postings) = self.indexes.i2i.get(item) {
                 for (i, d) in postings.iter().take(k) {
-                    keys.push(Key::Item(*i, 0.8 * distance_to_score(*d)));
+                    stats.postings_scanned += 1;
+                    keys.push(Key {
+                        id: *i,
+                        weight: 0.8 * distance_to_score(*d),
+                        is_item: true,
+                        origin: KeyOrigin::Preclick,
+                    });
                 }
             }
         }
+        stats.keys_expanded = keys.len();
         keys
     }
 
     /// Second layer: retrieve ads for every key and merge the scores (the
     /// score of an ad reached through several keys is the maximum of its
     /// per-key scores — rewriting should not double-count popularity).
-    fn retrieve_ads(&self, keys: &[Key]) -> Vec<RetrievedAd> {
+    /// Tracks which key origins contributed candidate ads, so the reported
+    /// coverage source answers "would this request be covered without the
+    /// expansion / pre-click channels?".
+    fn retrieve_ads(&self, keys: &[Key], stats: &mut RetrievalStats) -> Vec<RetrievedAd> {
         let per_key = self.config.ads_per_key;
+        let mut origins: (bool, bool, bool) = (false, false, false);
         let mut merged: HashMap<u32, f64> = HashMap::new();
         for key in keys {
-            let (postings, weight) = match key {
-                Key::Query(q, w) => (self.indexes.q2a.get(*q), *w),
-                Key::Item(i, w) => (self.indexes.i2a.get(*i), *w),
+            let postings = if key.is_item {
+                self.indexes.i2a.get(key.id)
+            } else {
+                self.indexes.q2a.get(key.id)
             };
             let Some(postings) = postings else { continue };
             for (ad, d) in postings.iter().take(per_key) {
-                let score = weight * distance_to_score(*d);
+                stats.postings_scanned += 1;
+                match key.origin {
+                    KeyOrigin::RawQuery => origins.0 = true,
+                    KeyOrigin::QueryExpansion => origins.1 = true,
+                    KeyOrigin::Preclick => origins.2 = true,
+                }
+                let score = key.weight * distance_to_score(*d);
                 let entry = merged.entry(*ad).or_insert(f64::NEG_INFINITY);
                 if score > *entry {
                     *entry = score;
@@ -136,15 +212,39 @@ impl TwoLayerRetriever {
             .into_iter()
             .map(|(ad, score)| RetrievedAd { ad, score })
             .collect();
-        ads.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.ad.cmp(&b.ad)));
+        // total_cmp instead of partial_cmp().unwrap(): scores are NaN-free
+        // (distance_to_score maps NaN to 0) but the sort must stay
+        // panic-free for any f64 regardless
+        ads.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ad.cmp(&b.ad)));
         ads.truncate(self.config.final_top_n);
+        stats.coverage = if origins.0 {
+            CoverageSource::DirectQuery
+        } else if origins.1 {
+            CoverageSource::ExpandedKeys
+        } else if origins.2 {
+            CoverageSource::PreclickItems
+        } else {
+            CoverageSource::None
+        };
         ads
+    }
+
+    /// Serve one request, reporting per-request statistics: query +
+    /// pre-click items → (ranked ads, stats).
+    pub fn retrieve_with_stats(
+        &self,
+        query: u32,
+        preclick_items: &[u32],
+    ) -> (Vec<RetrievedAd>, RetrievalStats) {
+        let mut stats = RetrievalStats::default();
+        let keys = self.expand_keys(query, preclick_items, &mut stats);
+        let ads = self.retrieve_ads(&keys, &mut stats);
+        (ads, stats)
     }
 
     /// Serve one request: query + pre-click items → ranked ads.
     pub fn retrieve(&self, query: u32, preclick_items: &[u32]) -> Vec<RetrievedAd> {
-        let keys = self.expand_keys(query, preclick_items);
-        self.retrieve_ads(&keys)
+        self.retrieve_with_stats(query, preclick_items).0
     }
 
     /// Single-layer baseline: retrieve ads using only the raw query's Q2A
@@ -166,7 +266,7 @@ impl TwoLayerRetriever {
                     .collect()
             })
             .unwrap_or_default();
-        ads.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.ad.cmp(&b.ad)));
+        ads.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ad.cmp(&b.ad)));
         ads
     }
 }
@@ -174,35 +274,18 @@ impl TwoLayerRetriever {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
-    use amcad_manifold::{ProductManifold, SubspaceSpec};
-    use amcad_mnn::MixedPointSet;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_points(ids: std::ops::Range<u32>, seed: u64) -> MixedPointSet {
-        let manifold = ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
-        let mut set = MixedPointSet::new(manifold.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
-        for id in ids {
-            let tangent: Vec<f64> = (0..4).map(|_| rng.gen_range(-0.3..0.3)).collect();
-            set.push(id, &manifold.exp0(&tangent), &[0.5, 0.5]);
-        }
-        set
-    }
+    use crate::index_set::{IndexBuildConfig, IndexSet};
+    use crate::test_fixtures::{random_points, tiny_inputs};
 
     fn retriever() -> TwoLayerRetriever {
-        let inputs = IndexBuildInputs {
-            queries_qq: random_points(0..10, 1),
-            queries_qi: random_points(0..10, 2),
-            items_qi: random_points(100..140, 3),
-            queries_qa: random_points(0..10, 4),
-            ads_qa: random_points(200..220, 5),
-            items_ii: random_points(100..140, 6),
-            items_ia: random_points(100..140, 7),
-            ads_ia: random_points(200..220, 8),
-        };
-        let indexes = IndexSet::build(&inputs, IndexBuildConfig { top_k: 8, threads: 1 });
+        let indexes = IndexSet::build(
+            &tiny_inputs(),
+            IndexBuildConfig {
+                top_k: 8,
+                threads: 1,
+                ..Default::default()
+            },
+        );
         TwoLayerRetriever::new(indexes, RetrievalConfig::default())
     }
 
@@ -238,10 +321,15 @@ mod tests {
         let r = retriever();
         let unknown_query = 9999;
         assert!(r.retrieve(unknown_query, &[]).is_empty());
-        let with_preclick = r.retrieve(unknown_query, &[105]);
+        let (with_preclick, stats) = r.retrieve_with_stats(unknown_query, &[105]);
         assert!(
             !with_preclick.is_empty(),
             "pre-click items must provide coverage for unseen queries"
+        );
+        assert_eq!(
+            stats.coverage,
+            CoverageSource::PreclickItems,
+            "coverage must be attributed to the pre-click channel"
         );
     }
 
@@ -253,5 +341,64 @@ mod tests {
         }
         assert_eq!(distance_to_score(0.0), 1.0);
         assert!(distance_to_score(10.0) < 0.1);
+    }
+
+    #[test]
+    fn stats_report_expansion_and_scan_work() {
+        let r = retriever();
+        let (ads, stats) = r.retrieve_with_stats(2, &[101]);
+        assert!(!ads.is_empty());
+        // raw query + raw preclick + up to 4 * expansion_per_index
+        assert!(stats.keys_expanded >= 2);
+        assert!(
+            stats.keys_expanded <= 2 + 4 * r.config().expansion_per_index,
+            "got {}",
+            stats.keys_expanded
+        );
+        assert!(stats.postings_scanned >= ads.len());
+        assert_eq!(stats.coverage, CoverageSource::DirectQuery);
+    }
+
+    #[test]
+    fn nan_distances_cannot_panic_or_outrank_real_candidates() {
+        // A NaN posting distance maps to score 0 — it can never beat a
+        // real candidate — and the total_cmp sorts stay panic-free where
+        // partial_cmp().unwrap() used to abort the serving path.
+        let inputs = crate::index_set::IndexBuildInputs {
+            queries_qq: random_points(0..3, 11),
+            queries_qi: random_points(0..3, 12),
+            items_qi: random_points(100..110, 13),
+            queries_qa: random_points(0..3, 14),
+            ads_qa: random_points(200..210, 15),
+            items_ii: random_points(100..110, 16),
+            items_ia: random_points(100..110, 17),
+            ads_ia: random_points(200..210, 18),
+        };
+        let mut indexes = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 4,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        indexes.q2a.insert(0, vec![(205, f64::NAN), (206, 0.1)]);
+        let r = TwoLayerRetriever::new(indexes, RetrievalConfig::default());
+        let single = r.retrieve_single_layer(0);
+        assert_eq!(single.first().unwrap().ad, 206, "real distance must win");
+        assert_eq!(
+            single.last().unwrap().ad,
+            205,
+            "NaN distance must sort last"
+        );
+        assert_eq!(single.last().unwrap().score, 0.0);
+        let ads = r.retrieve(0, &[]);
+        assert!(!ads.is_empty());
+        assert!(ads.iter().all(|a| a.score.is_finite()));
+        assert_ne!(
+            ads.first().unwrap().ad,
+            205,
+            "a NaN-distance posting must never top the merged ranking"
+        );
     }
 }

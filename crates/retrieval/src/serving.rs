@@ -5,34 +5,36 @@
 //! same *shape* — response time grows slowly with offered QPS until the
 //! worker pool saturates — is reproduced here with an open-loop load
 //! generator: requests arrive on a fixed schedule derived from the offered
-//! QPS, a pool of worker threads serves them from a shared queue, and the
-//! reported latency includes queueing delay (so overload shows up as a steep
-//! latency increase, exactly like the paper's figure).
+//! QPS, a pool of worker threads drains them from a shared queue in
+//! batches (one queue interaction per wakeup) and serves them through the
+//! engine, and the reported latency includes queueing delay (so overload
+//! shows up as a steep latency increase, exactly like the paper's figure).
+//! Each request's completion is timestamped individually so the curve
+//! reflects true per-request latency, not batch-end latency; transport-
+//! level response batching is what [`RetrievalEngine::retrieve_batch`]
+//! models for callers that want it.
+//!
+//! Idle workers park on a condition variable instead of spinning: a low
+//! offered load no longer burns a full core per worker waiting for the
+//! next arrival.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Condvar;
 use std::time::{Duration, Instant};
 
-use crossbeam::queue::SegQueue;
-
-use crate::retriever::TwoLayerRetriever;
-
-/// One simulated online request.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
-    /// Query node id.
-    pub query: u32,
-    /// Recently clicked item node ids.
-    pub preclick_items: Vec<u32>,
-}
+use crate::engine::{Request, RetrievalEngine};
+use crate::error::RetrievalError;
 
 /// Latency statistics of one load level.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadReport {
     /// Offered load in requests per second.
     pub offered_qps: f64,
-    /// Number of requests completed.
+    /// Number of requests completed (including no-coverage responses).
     pub completed: usize,
+    /// Requests answered with [`RetrievalError::NoCoverage`].
+    pub no_coverage: usize,
     /// Mean response time (including queueing) in milliseconds.
     pub mean_ms: f64,
     /// Median response time in milliseconds.
@@ -50,6 +52,10 @@ pub struct ServingConfig {
     pub workers: usize,
     /// Number of requests issued per load level.
     pub requests_per_level: usize,
+    /// Maximum requests a worker drains from the queue per wakeup (one
+    /// lock/condvar interaction per batch; requests are still served and
+    /// timestamped individually).
+    pub batch_size: usize,
 }
 
 impl Default for ServingConfig {
@@ -57,13 +63,76 @@ impl Default for ServingConfig {
         ServingConfig {
             workers: 4,
             requests_per_level: 2_000,
+            batch_size: 8,
         }
     }
 }
 
-/// The serving simulator: a worker pool around a [`TwoLayerRetriever`].
+/// Work item: (request template index, scheduled arrival offset).
+type WorkItem = (usize, Duration);
+
+/// A closable MPMC queue whose consumers park when idle. The producer
+/// notifies on every push; an idle consumer waits on the condvar (with a
+/// short bound as a missed-wakeup guard) instead of spinning on `pop`.
+///
+/// Deliberately `std::sync::Mutex`, not `parking_lot::Mutex`:
+/// `std::sync::Condvar` only pairs with std guards (the offline
+/// parking_lot stub happens to alias them, the real crate does not).
+struct RequestQueue {
+    items: std::sync::Mutex<VecDeque<WorkItem>>,
+    available: Condvar,
+    closed: AtomicBool,
+}
+
+impl RequestQueue {
+    fn new() -> Self {
+        RequestQueue {
+            items: std::sync::Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        self.lock().push_back(item);
+        self.available.notify_one();
+    }
+
+    /// Mark the queue closed: consumers drain what is left, then stop.
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<WorkItem>> {
+        self.items.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Take up to `max` items, parking while the queue is empty and open.
+    /// An empty result means closed-and-drained.
+    fn pop_batch(&self, max: usize) -> Vec<WorkItem> {
+        let mut guard = self.lock();
+        loop {
+            if !guard.is_empty() {
+                let n = guard.len().min(max);
+                return guard.drain(..n).collect();
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return Vec::new();
+            }
+            let (g, _) = self
+                .available
+                .wait_timeout(guard, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+}
+
+/// The serving simulator: a parked-worker pool around a
+/// [`RetrievalEngine`].
 pub struct ServingSimulator<'a> {
-    retriever: &'a TwoLayerRetriever,
+    engine: &'a RetrievalEngine,
     config: ServingConfig,
 }
 
@@ -76,9 +145,9 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 }
 
 impl<'a> ServingSimulator<'a> {
-    /// Create a simulator around a retriever.
-    pub fn new(retriever: &'a TwoLayerRetriever, config: ServingConfig) -> Self {
-        ServingSimulator { retriever, config }
+    /// Create a simulator around an engine.
+    pub fn new(engine: &'a RetrievalEngine, config: ServingConfig) -> Self {
+        ServingSimulator { engine, config }
     }
 
     /// Run one load level: issue `requests` (cycled to reach the configured
@@ -88,21 +157,18 @@ impl<'a> ServingSimulator<'a> {
         assert!(offered_qps > 0.0);
         let total = self.config.requests_per_level;
         let workers = self.config.workers.max(1);
+        let batch_size = self.config.batch_size.max(1);
         let interval = Duration::from_secs_f64(1.0 / offered_qps);
 
-        // Work items: (request index, scheduled arrival offset).
-        let queue: Arc<SegQueue<(usize, Duration)>> = Arc::new(SegQueue::new());
-        let latencies_ms = Arc::new(parking_lot::Mutex::new(Vec::with_capacity(total)));
-        let produced = Arc::new(AtomicUsize::new(0));
-        let done_producing = Arc::new(AtomicUsize::new(0));
+        let queue = RequestQueue::new();
+        let latencies_ms = parking_lot::Mutex::new(Vec::with_capacity(total));
+        let no_coverage = std::sync::atomic::AtomicUsize::new(0);
 
         let start = Instant::now();
         crossbeam::scope(|scope| {
             // producer: enqueue requests on the offered-load schedule
             {
-                let queue = Arc::clone(&queue);
-                let produced = Arc::clone(&produced);
-                let done = Arc::clone(&done_producing);
+                let queue = &queue;
                 scope.spawn(move |_| {
                     for i in 0..total {
                         let scheduled = interval * i as u32;
@@ -112,55 +178,52 @@ impl<'a> ServingSimulator<'a> {
                             std::thread::sleep(scheduled - now);
                         }
                         queue.push((i, scheduled));
-                        produced.fetch_add(1, Ordering::SeqCst);
                     }
-                    done.store(1, Ordering::SeqCst);
+                    queue.close();
                 });
             }
-            // workers: serve requests, recording latency from scheduled
-            // arrival to completion (queueing + service time)
+            // workers: drain batches (one queue interaction per wakeup),
+            // serve each request, and record per-request latency from
+            // scheduled arrival to its own completion (queueing + service
+            // time). Completion is timestamped per item, not per batch —
+            // batch-end timestamping would inflate every latency by its
+            // batchmates' service times and distort the Fig. 9 curve.
             for _ in 0..workers {
-                let queue = Arc::clone(&queue);
-                let latencies = Arc::clone(&latencies_ms);
-                let done = Arc::clone(&done_producing);
-                let produced = Arc::clone(&produced);
-                let retriever = self.retriever;
+                let queue = &queue;
+                let latencies = &latencies_ms;
+                let no_coverage = &no_coverage;
+                let engine = self.engine;
                 scope.spawn(move |_| {
-                    let mut served = 0usize;
+                    let mut batch_ms: Vec<f64> = Vec::with_capacity(batch_size);
                     loop {
-                        match queue.pop() {
-                            Some((i, scheduled)) => {
-                                let req = &requests[i % requests.len()];
-                                let _ads = retriever.retrieve(req.query, &req.preclick_items);
-                                let latency = start.elapsed().saturating_sub(scheduled);
-                                latencies.lock().push(latency.as_secs_f64() * 1000.0);
-                                served += 1;
-                            }
-                            None => {
-                                if done.load(Ordering::SeqCst) == 1
-                                    && latencies.lock().len() >= produced.load(Ordering::SeqCst)
-                                {
-                                    break;
-                                }
-                                std::thread::yield_now();
-                            }
+                        let items = queue.pop_batch(batch_size);
+                        if items.is_empty() {
+                            break; // closed and drained
                         }
+                        batch_ms.clear();
+                        for &(i, scheduled) in &items {
+                            let result = engine.retrieve(&requests[i % requests.len()]);
+                            if matches!(result, Err(RetrievalError::NoCoverage { .. })) {
+                                no_coverage.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let latency = start.elapsed().saturating_sub(scheduled);
+                            batch_ms.push(latency.as_secs_f64() * 1000.0);
+                        }
+                        latencies.lock().extend_from_slice(&batch_ms);
                     }
-                    served
                 });
             }
         })
         .expect("serving threads must not panic");
         let wall = start.elapsed().as_secs_f64();
 
-        let mut ms = Arc::try_unwrap(latencies_ms)
-            .expect("all workers joined")
-            .into_inner();
-        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut ms = latencies_ms.into_inner();
+        ms.sort_by(|a, b| a.total_cmp(b));
         let completed = ms.len();
         LoadReport {
             offered_qps,
             completed,
+            no_coverage: no_coverage.load(Ordering::Relaxed),
             mean_ms: if completed == 0 {
                 0.0
             } else {
@@ -184,37 +247,14 @@ impl<'a> ServingSimulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
-    use crate::retriever::RetrievalConfig;
-    use amcad_manifold::{ProductManifold, SubspaceSpec};
-    use amcad_mnn::MixedPointSet;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use crate::test_fixtures::tiny_inputs;
 
-    fn random_points(ids: std::ops::Range<u32>, seed: u64) -> MixedPointSet {
-        let manifold = ProductManifold::new(vec![SubspaceSpec::new(2, -1.0), SubspaceSpec::new(2, 1.0)]);
-        let mut set = MixedPointSet::new(manifold.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
-        for id in ids {
-            let tangent: Vec<f64> = (0..4).map(|_| rng.gen_range(-0.3..0.3)).collect();
-            set.push(id, &manifold.exp0(&tangent), &[0.5, 0.5]);
-        }
-        set
-    }
-
-    fn retriever() -> TwoLayerRetriever {
-        let inputs = IndexBuildInputs {
-            queries_qq: random_points(0..10, 1),
-            queries_qi: random_points(0..10, 2),
-            items_qi: random_points(100..140, 3),
-            queries_qa: random_points(0..10, 4),
-            ads_qa: random_points(200..220, 5),
-            items_ii: random_points(100..140, 6),
-            items_ia: random_points(100..140, 7),
-            ads_ia: random_points(200..220, 8),
-        };
-        let indexes = IndexSet::build(&inputs, IndexBuildConfig { top_k: 8, threads: 1 });
-        TwoLayerRetriever::new(indexes, RetrievalConfig::default())
+    fn engine() -> RetrievalEngine {
+        RetrievalEngine::builder()
+            .top_k(8)
+            .threads(1)
+            .build(&tiny_inputs())
+            .expect("tiny inputs build a valid engine")
     }
 
     fn requests() -> Vec<Request> {
@@ -228,16 +268,18 @@ mod tests {
 
     #[test]
     fn load_test_completes_every_request_and_reports_sane_statistics() {
-        let r = retriever();
+        let e = engine();
         let sim = ServingSimulator::new(
-            &r,
+            &e,
             ServingConfig {
                 workers: 2,
                 requests_per_level: 200,
+                batch_size: 8,
             },
         );
         let report = sim.run_level(&requests(), 5_000.0);
         assert_eq!(report.completed, 200);
+        assert_eq!(report.no_coverage, 0);
         assert!(report.mean_ms >= 0.0);
         assert!(report.p50_ms <= report.p99_ms + 1e-9);
         assert!(report.achieved_qps > 0.0);
@@ -245,12 +287,13 @@ mod tests {
 
     #[test]
     fn sweep_returns_one_report_per_level() {
-        let r = retriever();
+        let e = engine();
         let sim = ServingSimulator::new(
-            &r,
+            &e,
             ServingConfig {
                 workers: 2,
                 requests_per_level: 100,
+                batch_size: 4,
             },
         );
         let reports = sim.sweep(&requests(), &[1_000.0, 4_000.0]);
@@ -260,11 +303,60 @@ mod tests {
     }
 
     #[test]
+    fn uncovered_requests_are_counted_not_dropped() {
+        let e = engine();
+        let sim = ServingSimulator::new(
+            &e,
+            ServingConfig {
+                workers: 2,
+                requests_per_level: 50,
+                batch_size: 4,
+            },
+        );
+        let uncovered = vec![Request {
+            query: 99_999,
+            preclick_items: vec![],
+        }];
+        let report = sim.run_level(&uncovered, 10_000.0);
+        assert_eq!(report.completed, 50);
+        assert_eq!(report.no_coverage, 50);
+    }
+
+    #[test]
+    fn batch_size_one_still_serves_everything() {
+        let e = engine();
+        let sim = ServingSimulator::new(
+            &e,
+            ServingConfig {
+                workers: 3,
+                requests_per_level: 60,
+                batch_size: 1,
+            },
+        );
+        let report = sim.run_level(&requests(), 50_000.0);
+        assert_eq!(report.completed, 60);
+    }
+
+    #[test]
     fn percentile_helper_handles_edges() {
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[3.0], 0.99), 3.0);
         let v = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn queue_close_wakes_parked_consumers() {
+        let q = std::sync::Arc::new(RequestQueue::new());
+        let q2 = std::sync::Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push((7, Duration::ZERO));
+        q.close();
+        let batch = consumer.join().unwrap();
+        assert_eq!(batch, vec![(7, Duration::ZERO)]);
+        // after close + drain, consumers get an empty batch immediately
+        assert!(q.pop_batch(4).is_empty());
     }
 }

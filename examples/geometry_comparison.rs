@@ -11,10 +11,11 @@
 //! cargo run --release --example geometry_comparison
 //! ```
 
-use amcad::core::{evaluate_offline, EvalConfig};
+use amcad::core::{build_index_inputs, evaluate_offline, EvalConfig};
 use amcad::datagen::{Dataset, WorldConfig};
 use amcad::eval::TextTable;
 use amcad::model::{AmcadConfig, AmcadModel, Trainer, TrainerConfig};
+use amcad::retrieval::{Request, RetrievalEngine};
 
 fn main() {
     let seed = 7;
@@ -44,6 +45,7 @@ fn main() {
         "Next AUC",
         "Q2I HR@10",
         "Q2A HR@10",
+        "Serving coverage",
         "learned kappas (query)",
     ]);
     for cfg in configs {
@@ -53,6 +55,24 @@ fn main() {
         Trainer::new(trainer_cfg).run(&mut model, &dataset.graph);
         let export = model.export(&dataset.graph, seed);
         let metrics = evaluate_offline(&export, &dataset, &eval_cfg);
+        // end-to-end view: how much next-day traffic the geometry's
+        // serving engine covers through the two-layer retrieval
+        let engine = RetrievalEngine::builder()
+            .top_k(10)
+            .threads(2)
+            .build(&build_index_inputs(&export, &dataset))
+            .expect("every geometry exports non-empty ad indices");
+        let covered = dataset
+            .eval_sessions
+            .iter()
+            .filter(|s| {
+                let request = Request {
+                    query: s.query.0,
+                    preclick_items: dataset.preclick_items(s).iter().map(|n| n.0).collect(),
+                };
+                engine.retrieve(&request).is_ok()
+            })
+            .count();
         let kappas: Vec<String> = (0..m_count)
             .map(|m| format!("{:+.3}", model.node_kappa(m, amcad::graph::NodeType::Query)))
             .collect();
@@ -61,6 +81,10 @@ fn main() {
             format!("{:.2}", metrics.next_auc),
             format!("{:.2}", metrics.q2i.hitrate[0]),
             format!("{:.2}", metrics.q2a.hitrate[0]),
+            format!(
+                "{:.1}%",
+                100.0 * covered as f64 / dataset.eval_sessions.len() as f64
+            ),
             kappas.join(", "),
         ]);
     }

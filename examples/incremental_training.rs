@@ -7,10 +7,11 @@
 //! cargo run --release --example incremental_training
 //! ```
 
-use amcad::core::{evaluate_offline, EvalConfig};
+use amcad::core::{build_index_inputs, evaluate_offline, EvalConfig};
 use amcad::datagen::{Dataset, WorldConfig};
 use amcad::eval::TextTable;
 use amcad::model::{AmcadConfig, AmcadModel, Trainer, TrainerConfig};
+use amcad::retrieval::{Request, RetrievalEngine};
 
 fn main() {
     let seed = 23;
@@ -55,6 +56,36 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("Expected shape: metrics stay in the same band from day to day — warm-started incremental");
+    println!(
+        "Expected shape: metrics stay in the same band from day to day — warm-started incremental"
+    );
     println!("training does not degrade the model (Section V-C reports day-over-day stability).");
+
+    // Production loop closing step: refresh the serving indices from the
+    // latest day's embeddings and serve through the engine.
+    let last_day = days.last().unwrap();
+    let export = model.export(&last_day.graph, seed);
+    let engine = RetrievalEngine::builder()
+        .top_k(10)
+        .threads(2)
+        .build(&build_index_inputs(&export, last_day))
+        .expect("incremental exports keep the ad indices non-empty");
+    let session = &last_day.eval_sessions[0];
+    let request = Request {
+        query: session.query.0,
+        preclick_items: last_day
+            .preclick_items(session)
+            .iter()
+            .map(|n| n.0)
+            .collect(),
+    };
+    match engine.retrieve(&request) {
+        Ok(response) => println!(
+            "\nday-3 engine serves query {}: {} ads (coverage {:?})",
+            request.query,
+            response.ads.len(),
+            response.stats.coverage
+        ),
+        Err(err) => println!("\nday-3 engine: {err}"),
+    }
 }

@@ -1,24 +1,28 @@
-//! Online serving scenario: build the six inverted indices, serve traffic
-//! through the two-layer retriever and measure latency under load.
+//! Online serving scenario: build the six inverted indices with both ANN
+//! backends, serve traffic through the retrieval engine and measure
+//! latency under load.
 //!
 //! This exercises the production-facing half of the system (Section IV-C of
-//! the paper): MNN index construction, the Q2Q/Q2I/I2Q/I2I first layer, the
-//! Q2A/I2A second layer, and an open-loop load test like Fig. 9.
+//! the paper): MNN index construction behind the pluggable `AnnIndex`
+//! backend seam, the Q2Q/Q2I/I2Q/I2I first layer, the Q2A/I2A second
+//! layer, batched serving workers, and an open-loop load test like Fig. 9.
 //!
 //! ```bash
 //! cargo run --release --example online_serving
 //! ```
 
-use amcad::core::{Pipeline, PipelineConfig};
+use amcad::core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad::eval::TextTable;
-use amcad::retrieval::{Request, ServingConfig, ServingSimulator};
+use amcad::mnn::{IndexBackend, IvfConfig};
+use amcad::retrieval::{CoverageSource, Request, RetrievalEngine, ServingConfig, ServingSimulator};
 
 fn main() {
     let result = Pipeline::new(PipelineConfig::small(11)).run();
 
-    let indexes = result.retriever.indexes();
+    let indexes = result.engine.indexes();
     println!(
-        "inverted indices built: {} posting lists, {} postings total",
+        "inverted indices built ({} backend): {} posting lists, {} postings total",
+        result.engine.backend().label(),
         indexes.total_keys(),
         indexes.total_postings()
     );
@@ -33,9 +37,8 @@ fn main() {
     );
 
     // Coverage benefit of the second layer: how many requests get ads from
-    // the single-layer (query-only) channel vs the two-layer channel.
-    let mut single_covered = 0usize;
-    let mut two_covered = 0usize;
+    // the single-layer (query-only) channel vs the two-layer channel, and
+    // which channel provided the coverage.
     let requests: Vec<Request> = result
         .dataset
         .eval_sessions
@@ -50,38 +53,60 @@ fn main() {
                 .collect(),
         })
         .collect();
+    let mut single_covered = 0usize;
+    let mut two_covered = 0usize;
+    let mut via_preclick = 0usize;
     for r in &requests {
-        if !result.retriever.retrieve_single_layer(r.query).is_empty() {
+        if !result.engine.retrieve_single_layer(r.query).is_empty() {
             single_covered += 1;
         }
-        if !result.retriever.retrieve(r.query, &r.preclick_items).is_empty() {
+        if let Ok(response) = result.engine.retrieve(r) {
             two_covered += 1;
+            if response.stats.coverage == CoverageSource::PreclickItems {
+                via_preclick += 1;
+            }
         }
     }
     println!(
-        "coverage over {} next-day requests: single layer {:.1}%, two layers {:.1}%\n",
+        "coverage over {} next-day requests: single layer {:.1}%, two layers {:.1}% ({} recovered only through pre-clicks)\n",
         requests.len(),
         100.0 * single_covered as f64 / requests.len() as f64,
-        100.0 * two_covered as f64 / requests.len() as f64
+        100.0 * two_covered as f64 / requests.len() as f64,
+        via_preclick
     );
 
-    // Load test: latency vs offered QPS.
-    let sim = ServingSimulator::new(
-        &result.retriever,
-        ServingConfig {
-            workers: 4,
-            requests_per_level: 1_500,
-        },
-    );
-    let reports = sim.sweep(&requests, &[1_000.0, 5_000.0, 20_000.0, 80_000.0]);
-    let mut table = TextTable::new(vec!["Offered QPS", "Mean (ms)", "p99 (ms)", "Achieved QPS"]);
-    for r in &reports {
-        table.row(vec![
-            format!("{:.0}", r.offered_qps),
-            format!("{:.3}", r.mean_ms),
-            format!("{:.3}", r.p99_ms),
-            format!("{:.0}", r.achieved_qps),
-        ]);
+    // Load test: latency vs offered QPS, per ANN backend. The pipeline
+    // already built the exact engine; the IVF one comes from the same
+    // embeddings through the same builder.
+    let inputs = build_index_inputs(&result.export, &result.dataset);
+    let ivf_engine = RetrievalEngine::builder()
+        .index(*result.engine.index_config())
+        .backend(IndexBackend::Ivf(IvfConfig::default()))
+        .build(&inputs)
+        .expect("pipeline inputs build a valid engine");
+    for (backend, engine) in [
+        (result.engine.backend(), &result.engine),
+        (ivf_engine.backend(), &ivf_engine),
+    ] {
+        let sim = ServingSimulator::new(
+            engine,
+            ServingConfig {
+                workers: 4,
+                requests_per_level: 1_500,
+                batch_size: 8,
+            },
+        );
+        let reports = sim.sweep(&requests, &[1_000.0, 5_000.0, 20_000.0, 80_000.0]);
+        let mut table =
+            TextTable::new(vec!["Offered QPS", "Mean (ms)", "p99 (ms)", "Achieved QPS"]);
+        for r in &reports {
+            table.row(vec![
+                format!("{:.0}", r.offered_qps),
+                format!("{:.3}", r.mean_ms),
+                format!("{:.3}", r.p99_ms),
+                format!("{:.0}", r.achieved_qps),
+            ]);
+        }
+        println!("backend: {}\n{}", backend.label(), table.render());
     }
-    println!("{}", table.render());
 }

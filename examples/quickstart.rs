@@ -7,6 +7,7 @@
 
 use amcad::core::{Pipeline, PipelineConfig};
 use amcad::graph::NodeId;
+use amcad::retrieval::Request;
 
 fn main() {
     // 1. One call runs: behaviour-log generation → heterogeneous graph →
@@ -31,7 +32,12 @@ fn main() {
     println!(
         "training: {} steps, final loss {:.4}",
         result.train_report.losses.len(),
-        result.train_report.losses.last().copied().unwrap_or(f64::NAN)
+        result
+            .train_report
+            .losses
+            .last()
+            .copied()
+            .unwrap_or(f64::NAN)
     );
     println!("offline metrics:");
     println!("  Next AUC        = {:.2}", result.offline.next_auc);
@@ -44,26 +50,37 @@ fn main() {
         println!("  query subspace {m}: learned curvature kappa = {kappa:+.4}");
     }
 
-    // 4. Serve a few next-day requests through the two-layer retriever.
+    // 4. Serve a few next-day requests through the retrieval engine (the
+    //    pipeline builds it with the exact backend by default; see the
+    //    online_serving example for backend selection).
     println!("\nserving three next-day sessions:");
     for session in result.dataset.eval_sessions.iter().take(3) {
-        let preclicks: Vec<u32> = result
-            .dataset
-            .preclick_items(session)
-            .iter()
-            .map(|n| n.0)
-            .collect();
-        let ads = result.retriever.retrieve(session.query.0, &preclicks);
-        let best_relevance = ads
-            .first()
-            .map(|a| result.dataset.relevance(session.query, NodeId(a.ad)))
-            .unwrap_or(0.0);
-        println!(
-            "  query {:>4} (+{} pre-click items) -> {} ads, top-1 ground-truth relevance {:.2}",
-            session.query.0,
-            preclicks.len(),
-            ads.len(),
-            best_relevance
-        );
+        let request = Request {
+            query: session.query.0,
+            preclick_items: result
+                .dataset
+                .preclick_items(session)
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        };
+        match result.engine.retrieve(&request) {
+            Ok(response) => {
+                let best_relevance = response
+                    .ads
+                    .first()
+                    .map(|a| result.dataset.relevance(session.query, NodeId(a.ad)))
+                    .unwrap_or(0.0);
+                println!(
+                    "  query {:>4} (+{} pre-click items) -> {} ads via {:?}, top-1 ground-truth relevance {:.2}",
+                    request.query,
+                    request.preclick_items.len(),
+                    response.ads.len(),
+                    response.stats.coverage,
+                    best_relevance
+                );
+            }
+            Err(err) => println!("  query {:>4}: {err}", request.query),
+        }
     }
 }

@@ -13,8 +13,8 @@
 //! | [`graph`] | `amcad-graph` | heterogeneous query–item–ad graph engine, meta-path sampling |
 //! | [`datagen`] | `amcad-datagen` | synthetic sponsored-search behaviour-log generator |
 //! | [`model`] | `amcad-model` | the adaptive mixed-curvature model family + walk baselines |
-//! | [`mnn`] | `amcad-mnn` | mixed-curvature (approximate) nearest-neighbour index builder |
-//! | [`retrieval`] | `amcad-retrieval` | two-layer online ad retrieval and serving simulator |
+//! | [`mnn`] | `amcad-mnn` | pluggable ANN backends (`AnnIndex`): exact parallel scan, tangent-space IVF |
+//! | [`retrieval`] | `amcad-retrieval` | the `RetrievalEngine` (two-layer retrieval, batching, typed errors) and serving simulator |
 //! | [`eval`] | `amcad-eval` | ranking metrics and the A/B click/revenue simulator |
 //! | [`core`] | `amcad-core` | the end-to-end pipeline and the offline evaluation protocol |
 //!
@@ -22,14 +22,54 @@
 //!
 //! ```no_run
 //! use amcad::core::{Pipeline, PipelineConfig};
+//! use amcad::retrieval::Request;
 //!
-//! // logs → graph → training → indices → two-layer retrieval → metrics
+//! // logs → graph → training → indices → retrieval engine → metrics
 //! let result = Pipeline::new(PipelineConfig::small(42)).run();
 //! println!("Next AUC = {:.2}", result.offline.next_auc);
+//!
 //! let session = &result.dataset.eval_sessions[0];
-//! let ads = result.retriever.retrieve(session.query.0, &[]);
-//! println!("retrieved {} ads for the first next-day session", ads.len());
+//! let response = result
+//!     .engine
+//!     .retrieve(&Request { query: session.query.0, preclick_items: vec![] })
+//!     .expect("covered query");
+//! println!(
+//!     "retrieved {} ads via {:?} ({} postings scanned)",
+//!     response.ads.len(),
+//!     response.stats.coverage,
+//!     response.stats.postings_scanned
+//! );
 //! ```
+//!
+//! ## Picking an ANN backend
+//!
+//! Index construction and serving are generic over the [`mnn::AnnIndex`]
+//! backend; the engine builder selects one per deployment:
+//!
+//! ```no_run
+//! use amcad::core::{build_index_inputs, Pipeline, PipelineConfig};
+//! use amcad::mnn::{IndexBackend, IvfConfig};
+//! use amcad::retrieval::RetrievalEngine;
+//!
+//! let result = Pipeline::new(PipelineConfig::small(42)).run();
+//! let inputs = build_index_inputs(&result.export, &result.dataset);
+//!
+//! // exact multi-threaded scan (the paper's MNN module) ...
+//! let exact = RetrievalEngine::builder()
+//!     .backend(IndexBackend::Exact)
+//!     .build(&inputs)?;
+//! // ... or approximate IVF with a recall/latency trade-off
+//! let ivf = RetrievalEngine::builder()
+//!     .backend(IndexBackend::Ivf(IvfConfig::default()))
+//!     .build(&inputs)?;
+//! assert_eq!(exact.indexes().total_keys(), ivf.indexes().total_keys());
+//! # Ok::<(), amcad::retrieval::RetrievalError>(())
+//! ```
+//!
+//! The `PipelineConfig::with_backend` knob threads the same selection
+//! through the one-call pipeline, and `ServingSimulator` load-tests any
+//! engine (see `examples/online_serving.rs` and the `fig9_serving_latency`
+//! benchmark binary for the exact-vs-IVF sweep).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the

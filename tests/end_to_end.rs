@@ -6,6 +6,7 @@ use amcad::core::{evaluate_offline, EvalConfig, Pipeline, PipelineConfig, Random
 use amcad::datagen::{Dataset, WorldConfig};
 use amcad::graph::{NodeId, NodeType};
 use amcad::model::{PairScorer, RelationKind, SgnsConfig, SgnsModel, WalkStrategy};
+use amcad::retrieval::Request;
 
 fn pipeline_result() -> amcad::core::PipelineResult {
     Pipeline::new(PipelineConfig::small(2024)).run()
@@ -35,10 +36,12 @@ fn export_distances_and_mnn_postings_agree() {
     let dataset = &result.dataset;
     // For a handful of queries: the Q2A posting list produced by the MNN
     // index must be ordered consistently with the export's own distances.
-    let q2a = &result.retriever.indexes().q2a;
+    let q2a = &result.engine.indexes().q2a;
     let mut checked = 0;
     for &q in dataset.query_nodes.iter().take(10) {
-        let Some(postings) = q2a.get(q.0) else { continue };
+        let Some(postings) = q2a.get(q.0) else {
+            continue;
+        };
         if postings.len() < 2 {
             continue;
         }
@@ -69,7 +72,14 @@ fn two_layer_retrieval_returns_ads_relevant_to_the_query_category() {
             .iter()
             .map(|n| n.0)
             .collect();
-        let ads = result.retriever.retrieve(session.query.0, &pre);
+        let ads = result
+            .engine
+            .retrieve(&Request {
+                query: session.query.0,
+                preclick_items: pre,
+            })
+            .map(|response| response.ads)
+            .unwrap_or_default();
         for ad in ads.iter().take(5) {
             total += 1;
             let ad_node = NodeId(ad.ad);
@@ -79,7 +89,10 @@ fn two_layer_retrieval_returns_ads_relevant_to_the_query_category() {
             }
         }
     }
-    assert!(total > 0, "the retriever should serve ads for next-day sessions");
+    assert!(
+        total > 0,
+        "the retriever should serve ads for next-day sessions"
+    );
     // The `small` preset trains for only a few dozen steps (debug-mode test
     // budget), so category selectivity is weak but must not collapse to
     // zero; the release-mode experiment harness uses far larger budgets.
@@ -111,7 +124,10 @@ fn walk_baselines_and_amcad_are_comparable_through_the_same_protocol() {
     );
     let m = evaluate_offline(&sgns, &dataset, &eval);
     assert!(m.next_auc.is_finite());
-    assert!(m.next_auc > 40.0, "DeepWalk should be clearly above chance-floor scores");
+    assert!(
+        m.next_auc > 40.0,
+        "DeepWalk should be clearly above chance-floor scores"
+    );
     assert_eq!(sgns.scorer_name(), "DeepWalk");
 }
 
@@ -120,7 +136,10 @@ fn export_covers_all_five_relation_spaces_for_pipeline_output() {
     let result = pipeline_result();
     for kind in RelationKind::ALL {
         let space = &result.export.spaces[&kind];
-        assert!(!space.is_empty(), "relation space {kind:?} must not be empty");
+        assert!(
+            !space.is_empty(),
+            "relation space {kind:?} must not be empty"
+        );
         // every stored weight vector is a distribution over subspaces
         for w in space.weights.values().take(20) {
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
