@@ -5,8 +5,7 @@
 //! [`Tensor`] values.  Every operation appends a node to the [`Tape`]; a
 //! single call to [`Tape::backward`] then accumulates gradients for every
 //! node reachable from the scalar loss, including the trainable curvature
-//! scalars that flow through the [`TanKappa`](Op::TanKappa) /
-//! [`AtanKappa`](Op::AtanKappa) primitives.
+//! scalars that flow through the `TanKappa` / `AtanKappa` primitives.
 //!
 //! All parameters of the paper's model live in tangent (Euclidean) space —
 //! the authors train them with vanilla AdaGrad — so no Riemannian optimiser

@@ -9,12 +9,15 @@
 //! backend (exact scan and IVF), both built from the same embeddings
 //! through the same `RetrievalEngine` builder — so the recall/latency
 //! trade-off of approximate indexing shows up next to the paper's shape.
+//! Workers serve through an `EngineHandle` snapshot (the production
+//! entry point), and the latency ladder reports p50 / p90 / p95 / p99:
+//! the saturation knee shows in the upper deciles before the median.
 
 use amcad_bench::Scale;
 use amcad_core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad_eval::TextTable;
 use amcad_mnn::{recall_at_k, IndexBackend, IvfConfig};
-use amcad_retrieval::{Request, RetrievalEngine, ServingConfig, ServingSimulator};
+use amcad_retrieval::{EngineHandle, Request, RetrievalEngine, ServingConfig, ServingSimulator};
 
 fn main() {
     let scale = Scale::from_env();
@@ -93,15 +96,22 @@ fn main() {
         };
         println!("-- backend: {}{recall_note}", backend.label());
 
-        let sim = ServingSimulator::new(engine, serving);
+        // serve the production way: workers hit the hot-swappable handle,
+        // each request pinning the current snapshot
+        let handle = EngineHandle::new(engine.clone());
+        let sim = ServingSimulator::new(&handle, serving);
         let reports = sim.sweep(&requests, &qps_levels);
 
+        // p90 / p95 sit between the median and p99 on purpose: the
+        // saturation knee moves the upper deciles well before the median
         let mut table = TextTable::new(vec![
             "Offered QPS",
             "Completed",
             "Achieved QPS",
             "Mean (ms)",
             "p50 (ms)",
+            "p90 (ms)",
+            "p95 (ms)",
             "p99 (ms)",
             "No coverage",
         ]);
@@ -112,6 +122,8 @@ fn main() {
                 format!("{:.0}", r.achieved_qps),
                 format!("{:.3}", r.mean_ms),
                 format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p90_ms),
+                format!("{:.3}", r.p95_ms),
                 format!("{:.3}", r.p99_ms),
                 r.no_coverage.to_string(),
             ]);

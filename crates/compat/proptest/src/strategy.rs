@@ -72,7 +72,7 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
 pub struct OneOf<V> {
     options: Vec<Box<dyn Strategy<Value = V>>>,
 }
@@ -85,7 +85,7 @@ impl<V> Strategy for OneOf<V> {
     }
 }
 
-/// Constructor used by the [`prop_oneof!`] macro.
+/// Constructor used by the `prop_oneof!` macro.
 pub fn one_of<V>(options: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
     assert!(!options.is_empty(), "prop_oneof! needs at least one option");
     OneOf { options }

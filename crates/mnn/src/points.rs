@@ -94,6 +94,48 @@ impl MixedPointSet {
         self.ids.iter().position(|&x| x == id)
     }
 
+    /// Split the set into `parts` disjoint sets by assigning every point
+    /// through `assign` (id → part index). Points keep their coordinates
+    /// and weights bit-for-bit, so an index built over one part agrees
+    /// exactly with the corresponding entries of an index built over the
+    /// whole set — the property sharded index builds rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0` or `assign` returns an out-of-range part.
+    pub fn partition_by(
+        &self,
+        parts: usize,
+        mut assign: impl FnMut(u32) -> usize,
+    ) -> Vec<MixedPointSet> {
+        assert!(parts > 0, "cannot partition into zero parts");
+        let mut out: Vec<MixedPointSet> = (0..parts)
+            .map(|_| MixedPointSet::new(self.manifold.clone()))
+            .collect();
+        for i in 0..self.len() {
+            let id = self.id(i);
+            let part = assign(id);
+            assert!(
+                part < parts,
+                "assign({id}) returned part {part}, but there are only {parts} parts"
+            );
+            out[part].push(id, self.point(i), self.weight(i));
+        }
+        out
+    }
+
+    /// The subset of points whose id satisfies `keep`, preserving order,
+    /// coordinates and weights.
+    pub fn filtered(&self, mut keep: impl FnMut(u32) -> bool) -> MixedPointSet {
+        let mut out = MixedPointSet::new(self.manifold.clone());
+        for i in 0..self.len() {
+            if keep(self.id(i)) {
+                out.push(self.id(i), self.point(i), self.weight(i));
+            }
+        }
+        out
+    }
+
     /// Attention-weighted mixed-curvature distance between point `i` of this
     /// set and point `j` of `other` (both sets must share the manifold).
     #[inline]
@@ -164,6 +206,37 @@ mod tests {
         assert!((d01 - d10).abs() < 1e-12);
         assert!(set.distance_between(0, &set, 0).abs() < 1e-12);
         assert!(d01 > 0.0);
+    }
+
+    #[test]
+    fn partition_by_splits_points_without_altering_them() {
+        let set = sample_set();
+        let parts = set.partition_by(2, |id| (id as usize / 10) % 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].ids(), &[20u32]); // 20/10 = 2 → part 0
+        assert_eq!(parts[1].ids(), &[10, 30]);
+        // coordinates and weights are preserved bit-for-bit
+        let j = set.index_of(30).unwrap();
+        let k = parts[1].index_of(30).unwrap();
+        assert_eq!(set.point(j), parts[1].point(k));
+        assert_eq!(set.weight(j), parts[1].weight(k));
+        // a single part is a verbatim copy
+        let whole = set.partition_by(1, |_| 0);
+        assert_eq!(whole[0].ids(), set.ids());
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_by_rejects_out_of_range_parts() {
+        sample_set().partition_by(2, |_| 5);
+    }
+
+    #[test]
+    fn filtered_keeps_matching_ids_in_order() {
+        let set = sample_set();
+        let odd_tens = set.filtered(|id| id != 20);
+        assert_eq!(odd_tens.ids(), &[10, 30]);
+        assert!(set.filtered(|_| false).is_empty());
     }
 
     #[test]

@@ -1,11 +1,20 @@
-//! The retrieval engine: the production-facing entry point of the serving
-//! stack.
+//! The serving API: the [`Retrieve`] trait and its single-node
+//! implementation, [`RetrievalEngine`].
 //!
-//! [`RetrievalEngine`] wraps the six inverted indices and the two-layer
-//! retrieval logic behind one object built through a builder:
+//! Production callers program against the object-safe [`Retrieve`]
+//! interface; three implementations cover the deployment ladder:
+//!
+//! * [`RetrievalEngine`] (this module) — one node holding all six inverted
+//!   indices, built through a builder with a pluggable ANN backend,
+//! * [`crate::ShardedEngine`] — the same inputs hash-partitioned by ad
+//!   across N shards, fanned out per request and merged back into the
+//!   globally correct ranking,
+//! * [`crate::EngineHandle`] — either of the above behind an atomically
+//!   swappable snapshot, so a rebuilt index can be published with zero
+//!   downtime while worker threads keep serving.
 //!
 //! ```no_run
-//! use amcad_retrieval::{IndexBuildInputs, RetrievalEngine, Request};
+//! use amcad_retrieval::{IndexBuildInputs, Retrieve, RetrievalEngine, Request};
 //! use amcad_mnn::{IndexBackend, IvfConfig};
 //! # fn inputs() -> IndexBuildInputs { unimplemented!() }
 //!
@@ -13,15 +22,18 @@
 //!     .backend(IndexBackend::Ivf(IvfConfig::default()))
 //!     .top_k(20)
 //!     .build(&inputs())?;
-//! let response = engine.retrieve(&Request { query: 7, preclick_items: vec![101] })?;
+//! // `engine` can be used directly or behind `&dyn Retrieve`
+//! let serving: &dyn Retrieve = &engine;
+//! let response = serving.retrieve(&Request { query: 7, preclick_items: vec![101] })?;
 //! println!("{} ads via {:?}", response.ads.len(), response.stats.coverage);
 //! # Ok::<(), amcad_retrieval::RetrievalError>(())
 //! ```
 //!
-//! Compared to calling the bare retriever it adds: backend selection
-//! (exact or IVF — any [`amcad_mnn::AnnIndex`]), typed errors instead of
-//! silent empty results, a batched [`RetrievalEngine::retrieve_batch`]
-//! entry point for transport-level batching, and per-request
+//! Compared to calling the bare retriever the engine adds: backend
+//! selection (exact or IVF — any [`amcad_mnn::AnnIndex`]), typed errors
+//! instead of silent empty results, a batched
+//! [`RetrievalEngine::retrieve_batch`] entry point that deduplicates
+//! second-layer index scans across the batch, and per-request
 //! [`RetrievalStats`].
 
 use amcad_mnn::IndexBackend;
@@ -80,6 +92,32 @@ pub struct RetrievalResponse {
     pub ads: Vec<RetrievedAd>,
     /// Work and provenance counters for this request.
     pub stats: RetrievalStats,
+}
+
+/// The object-safe serving interface every engine flavour implements:
+/// single-node [`RetrievalEngine`], fan-out [`crate::ShardedEngine`], and
+/// the hot-swappable [`crate::EngineHandle`] / [`crate::EngineSnapshot`].
+///
+/// Callers (the serving simulator, benchmark binaries, transport layers)
+/// hold `&dyn Retrieve` and stay oblivious to the deployment topology
+/// behind it. `Send + Sync` is part of the contract: serving fans requests
+/// across worker threads.
+pub trait Retrieve: Send + Sync {
+    /// Serve one request. `Err(NoCoverage)` replaces a silent empty result
+    /// when neither the query nor its pre-click context reaches any ad.
+    fn retrieve(&self, request: &Request) -> Result<RetrievalResponse, RetrievalError>;
+
+    /// Serve a batch of requests in one call — the entry point for
+    /// transport-level batching. Each request gets its own result so
+    /// partial coverage failures don't poison the batch. The default
+    /// implementation serves request by request; implementations override
+    /// it when a batch can be served cheaper than N singles.
+    fn retrieve_batch(
+        &self,
+        requests: &[Request],
+    ) -> Vec<Result<RetrievalResponse, RetrievalError>> {
+        requests.iter().map(|r| self.retrieve(r)).collect()
+    }
 }
 
 /// The engine: built indices + two-layer logic + the backend that built
@@ -203,6 +241,12 @@ impl RetrievalEngine {
         self.retriever.indexes()
     }
 
+    /// The bare two-layer retriever — crate-visible so the sharded engine
+    /// can expand keys once and merge per-shard candidate prefixes.
+    pub(crate) fn retriever(&self) -> &TwoLayerRetriever {
+        &self.retriever
+    }
+
     /// Serve one request. `Err(NoCoverage)` replaces the old silent empty
     /// result when neither the query nor its pre-click context reaches any
     /// ad.
@@ -221,21 +265,53 @@ impl RetrievalEngine {
 
     /// Serve a batch of requests in one call — the entry point for
     /// transport-level batching (a server that collects requests and
-    /// flushes responses together). Each request gets its own result so
-    /// partial coverage failures don't poison the batch. Note that
-    /// [`crate::ServingSimulator`] serves per request to keep its latency
-    /// measurement faithful; it batches only the queue draining.
+    /// flushes responses together). Second-layer index scans are
+    /// deduplicated across the batch: when several requests expand to the
+    /// same key, its posting-list prefix is fetched once, so a batch is
+    /// measurably cheaper than N single [`RetrievalEngine::retrieve`]
+    /// calls. Rankings are identical to the single path; a shared scan is
+    /// attributed to the first request that needed it. Each request gets
+    /// its own result so partial coverage failures don't poison the batch.
+    /// Note that [`crate::ServingSimulator`] serves per request to keep its
+    /// latency measurement faithful; it batches only the queue draining.
     pub fn retrieve_batch(
         &self,
         requests: &[Request],
     ) -> Vec<Result<RetrievalResponse, RetrievalError>> {
-        requests.iter().map(|r| self.retrieve(r)).collect()
+        self.retriever
+            .retrieve_batch_with_stats(requests)
+            .into_iter()
+            .zip(requests)
+            .map(|((ads, stats), request)| {
+                if ads.is_empty() {
+                    Err(RetrievalError::NoCoverage {
+                        query: request.query,
+                        stats,
+                    })
+                } else {
+                    Ok(RetrievalResponse { ads, stats })
+                }
+            })
+            .collect()
     }
 
     /// Single-layer baseline (raw query's Q2A only) — kept for coverage
     /// comparisons against the two-layer path.
     pub fn retrieve_single_layer(&self, query: u32) -> Vec<RetrievedAd> {
         self.retriever.retrieve_single_layer(query)
+    }
+}
+
+impl Retrieve for RetrievalEngine {
+    fn retrieve(&self, request: &Request) -> Result<RetrievalResponse, RetrievalError> {
+        RetrievalEngine::retrieve(self, request)
+    }
+
+    fn retrieve_batch(
+        &self,
+        requests: &[Request],
+    ) -> Vec<Result<RetrievalResponse, RetrievalError>> {
+        RetrievalEngine::retrieve_batch(self, requests)
     }
 }
 

@@ -1,39 +1,64 @@
 //! # amcad-retrieval
 //!
 //! The two-layer online advertisement retrieval framework of AMCAD
-//! (Section IV-C) and a serving-load simulator.
+//! (Section IV-C) behind a sharded, hot-swappable serving API, plus a
+//! serving-load simulator.
 //!
-//! * [`RetrievalEngine`] — the production entry point: built through a
-//!   builder with a pluggable ANN backend, it serves single requests and
-//!   batches with typed errors ([`RetrievalError`]) and per-request
-//!   [`RetrievalStats`],
-//! * [`IndexSet`] — the six inverted indices (Q2Q, Q2I, I2Q, I2I, Q2A, I2A)
-//!   built offline with any [`amcad_mnn::AnnIndex`] backend,
-//! * [`TwoLayerRetriever`] — the bare layer logic: layer 1 expands the raw
-//!   query and pre-click items into related queries/items, layer 2
-//!   retrieves and merges ads,
-//! * [`ServingSimulator`] — an open-loop load generator measuring response
-//!   time versus offered QPS (Fig. 9) over an engine.
+//! ## The serving triad
 //!
-//! ## Building an engine
+//! Callers program against the object-safe [`Retrieve`] trait; the three
+//! implementations form the deployment ladder of the paper's production
+//! cluster:
+//!
+//! * [`RetrievalEngine`] — one node over the whole corpus: built through a
+//!   builder with a pluggable ANN backend, serving single requests and
+//!   scan-deduplicated batches with typed errors ([`RetrievalError`]) and
+//!   per-request [`RetrievalStats`],
+//! * [`ShardedEngine`] — the corpus hash-partitioned **by ad** across N
+//!   shards ([`shard::ad_shard`]); requests fan out to every shard and the
+//!   per-key candidate prefixes are merged back into *exactly* the ranking
+//!   a whole-corpus engine would return, so shard count is a pure
+//!   deployment knob,
+//! * [`EngineHandle`] — either of the above behind an atomically
+//!   swappable [`EngineSnapshot`]: [`EngineHandle::publish`] installs a
+//!   freshly rebuilt index with one pointer swap while worker threads
+//!   keep serving, each response attributable to exactly one snapshot
+//!   generation — the zero-downtime index update of Section V-C.
+//!
+//! Below the triad sit the building blocks: [`IndexSet`] (the six
+//! inverted indices Q2Q, Q2I, I2Q, I2I, Q2A, I2A built offline with any
+//! [`amcad_mnn::AnnIndex`] backend), [`TwoLayerRetriever`] (the bare
+//! layer logic), and [`ServingSimulator`] (an open-loop load generator
+//! measuring response time versus offered QPS, Fig. 9, over any
+//! [`Retrieve`] implementation).
+//!
+//! ## Serving with shards and zero-downtime updates
 //!
 //! ```no_run
-//! use amcad_retrieval::{RetrievalEngine, RetrievalConfig, Request};
-//! use amcad_mnn::{IndexBackend, IvfConfig};
+//! use amcad_retrieval::{
+//!     EngineHandle, Retrieve, Request, RetrievalConfig, ShardedEngine,
+//! };
+//! use amcad_mnn::IndexBackend;
 //! # fn index_inputs() -> amcad_retrieval::IndexBuildInputs { unimplemented!() }
 //!
-//! let engine = RetrievalEngine::builder()
-//!     .backend(IndexBackend::Ivf(IvfConfig::default())) // or IndexBackend::Exact
+//! // build: ads hash-partitioned across 4 shards, keys replicated
+//! let sharded = ShardedEngine::builder()
+//!     .shards(4)
+//!     .backend(IndexBackend::Exact)
 //!     .top_k(20)
 //!     .retrieval(RetrievalConfig::default())
 //!     .build(&index_inputs())?;
 //!
-//! let response = engine.retrieve(&Request { query: 42, preclick_items: vec![7, 9] })?;
-//! for ad in &response.ads {
-//!     println!("ad {} score {:.3}", ad.ad, ad.score);
-//! }
+//! // serve: workers hold the handle, each request pins one snapshot
+//! let handle = EngineHandle::new(sharded);
+//! let response = handle.retrieve(&Request { query: 42, preclick_items: vec![7, 9] })?;
 //! println!("coverage: {:?}, postings scanned: {}",
 //!     response.stats.coverage, response.stats.postings_scanned);
+//!
+//! // update: rebuild offline, then swap — zero downtime
+//! let rebuilt = ShardedEngine::builder().shards(4).build(&index_inputs())?;
+//! let generation = handle.publish(rebuilt);
+//! println!("now serving generation {generation}");
 //! # Ok::<(), amcad_retrieval::RetrievalError>(())
 //! ```
 
@@ -42,15 +67,19 @@ pub mod error;
 pub mod index_set;
 pub mod retriever;
 pub mod serving;
+pub mod shard;
+pub mod snapshot;
 
 pub use engine::{
     CoverageSource, Request, RetrievalEngine, RetrievalEngineBuilder, RetrievalResponse,
-    RetrievalStats,
+    RetrievalStats, Retrieve,
 };
 pub use error::RetrievalError;
 pub use index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
 pub use retriever::{RetrievalConfig, RetrievedAd, TwoLayerRetriever};
 pub use serving::{LoadReport, ServingConfig, ServingSimulator};
+pub use shard::{ad_shard, shard_inputs, ShardedEngine, ShardedEngineBuilder};
+pub use snapshot::{EngineHandle, EngineSnapshot};
 
 /// Shared fixtures for this crate's test modules: one tiny deterministic
 /// world (queries 0..10, items 100..140, ads 200..220).

@@ -12,9 +12,10 @@
 //! [`crate::RetrievalEngine`], which adds backend selection, typed errors,
 //! batching and per-request statistics on top.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use crate::engine::{CoverageSource, RetrievalStats};
+use crate::engine::{CoverageSource, Request, RetrievalStats};
 use crate::index_set::IndexSet;
 
 /// Configuration of the two-layer retrieval.
@@ -41,7 +42,7 @@ impl Default for RetrievalConfig {
 /// Where a first-layer key came from — determines the coverage source
 /// reported for the ads it retrieves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum KeyOrigin {
+pub(crate) enum KeyOrigin {
     /// The raw query of the request.
     RawQuery,
     /// Expansion of the raw query through Q2Q / Q2I.
@@ -52,12 +53,15 @@ enum KeyOrigin {
 
 /// An expanded retrieval key: a query or item node, the weight it
 /// contributes to ads retrieved through it, and its provenance.
+///
+/// Crate-visible so the sharded engine can expand keys once and fan the
+/// same key set out to every shard's second layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Key {
-    id: u32,
-    weight: f64,
-    is_item: bool,
-    origin: KeyOrigin,
+pub(crate) struct Key {
+    pub(crate) id: u32,
+    pub(crate) weight: f64,
+    pub(crate) is_item: bool,
+    pub(crate) origin: KeyOrigin,
 }
 
 /// A retrieved ad with its merged score (higher = better).
@@ -68,6 +72,10 @@ pub struct RetrievedAd {
     /// Merged retrieval score.
     pub score: f64,
 }
+
+/// Batch-scope fetch cache: `(is_item, key id)` → (index of the request
+/// that first fetched it, the borrowed candidate prefix).
+type FetchCache<'a> = HashMap<(bool, u32), (usize, &'a [(u32, f64)])>;
 
 /// The two-layer retriever over a built [`IndexSet`].
 #[derive(Debug, Clone)]
@@ -105,15 +113,18 @@ impl TwoLayerRetriever {
     }
 
     /// First layer: expand the raw query and pre-click items into a weighted
-    /// key set. Counts postings scanned into `stats`.
-    fn expand_keys(
+    /// key set, appended to the caller-owned `keys` scratch buffer (cleared
+    /// first) so batch callers reuse one allocation. Counts postings scanned
+    /// into `stats`.
+    pub(crate) fn expand_keys_into(
         &self,
         query: u32,
         preclick_items: &[u32],
         stats: &mut RetrievalStats,
-    ) -> Vec<Key> {
+        keys: &mut Vec<Key>,
+    ) {
         let k = self.config.expansion_per_index;
-        let mut keys: Vec<Key> = Vec::new();
+        keys.clear();
         // the raw query itself carries full weight
         keys.push(Key {
             id: query,
@@ -174,59 +185,23 @@ impl TwoLayerRetriever {
             }
         }
         stats.keys_expanded = keys.len();
-        keys
     }
 
-    /// Second layer: retrieve ads for every key and merge the scores (the
-    /// score of an ad reached through several keys is the maximum of its
-    /// per-key scores — rewriting should not double-count popularity).
-    /// Tracks which key origins contributed candidate ads, so the reported
-    /// coverage source answers "would this request be covered without the
-    /// expansion / pre-click channels?".
-    fn retrieve_ads(&self, keys: &[Key], stats: &mut RetrievalStats) -> Vec<RetrievedAd> {
-        let per_key = self.config.ads_per_key;
-        let mut origins: (bool, bool, bool) = (false, false, false);
-        let mut merged: HashMap<u32, f64> = HashMap::new();
-        for key in keys {
-            let postings = if key.is_item {
-                self.indexes.i2a.get(key.id)
-            } else {
-                self.indexes.q2a.get(key.id)
-            };
-            let Some(postings) = postings else { continue };
-            for (ad, d) in postings.iter().take(per_key) {
-                stats.postings_scanned += 1;
-                match key.origin {
-                    KeyOrigin::RawQuery => origins.0 = true,
-                    KeyOrigin::QueryExpansion => origins.1 = true,
-                    KeyOrigin::Preclick => origins.2 = true,
-                }
-                let score = key.weight * distance_to_score(*d);
-                let entry = merged.entry(*ad).or_insert(f64::NEG_INFINITY);
-                if score > *entry {
-                    *entry = score;
-                }
-            }
-        }
-        let mut ads: Vec<RetrievedAd> = merged
-            .into_iter()
-            .map(|(ad, score)| RetrievedAd { ad, score })
-            .collect();
-        // total_cmp instead of partial_cmp().unwrap(): scores are NaN-free
-        // (distance_to_score maps NaN to 0) but the sort must stay
-        // panic-free for any f64 regardless
-        ads.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ad.cmp(&b.ad)));
-        ads.truncate(self.config.final_top_n);
-        stats.coverage = if origins.0 {
-            CoverageSource::DirectQuery
-        } else if origins.1 {
-            CoverageSource::ExpandedKeys
-        } else if origins.2 {
-            CoverageSource::PreclickItems
+    /// Second-layer candidates of one key: the prefix of its Q2A / I2A
+    /// posting list the configured `ads_per_key` cut admits. Borrowed
+    /// straight from the index — no copy — and already sorted by the index
+    /// build's `(distance, id)` order, which is what lets shard-local
+    /// prefixes be merged back into the exact global prefix.
+    pub(crate) fn key_candidates(&self, key: &Key, per_key: usize) -> &[(u32, f64)] {
+        let postings = if key.is_item {
+            self.indexes.i2a.get(key.id)
         } else {
-            CoverageSource::None
+            self.indexes.q2a.get(key.id)
         };
-        ads
+        match postings {
+            Some(postings) => &postings[..per_key.min(postings.len())],
+            None => &[],
+        }
     }
 
     /// Serve one request, reporting per-request statistics: query +
@@ -237,9 +212,84 @@ impl TwoLayerRetriever {
         preclick_items: &[u32],
     ) -> (Vec<RetrievedAd>, RetrievalStats) {
         let mut stats = RetrievalStats::default();
-        let keys = self.expand_keys(query, preclick_items, &mut stats);
-        let ads = self.retrieve_ads(&keys, &mut stats);
+        let mut keys = Vec::new();
+        self.expand_keys_into(query, preclick_items, &mut stats, &mut keys);
+        let per_key = self.config.ads_per_key;
+        let candidates: Vec<&[(u32, f64)]> = keys
+            .iter()
+            .map(|key| {
+                let c = self.key_candidates(key, per_key);
+                stats.postings_scanned += c.len();
+                c
+            })
+            .collect();
+        let mut scratch = HashMap::new();
+        let ads = score_candidates(
+            &keys,
+            &candidates,
+            self.config.final_top_n,
+            &mut scratch,
+            &mut stats,
+        );
         (ads, stats)
+    }
+
+    /// Serve a whole batch, deduplicating second-layer work across
+    /// requests: the candidate prefix of each distinct `(layer, key)` is
+    /// fetched (and its scan counted) once per batch, and the key / score
+    /// scratch buffers are reused across requests. Per-request rankings are
+    /// identical to [`TwoLayerRetriever::retrieve_with_stats`]; only
+    /// `postings_scanned` differs — a scan shared with an *earlier* request
+    /// in the batch is attributed to that earlier request, so the batch's
+    /// summed scan count is the true deduplicated work.
+    pub(crate) fn retrieve_batch_with_stats(
+        &self,
+        requests: &[Request],
+    ) -> Vec<(Vec<RetrievedAd>, RetrievalStats)> {
+        let per_key = self.config.ads_per_key;
+        let mut fetched: FetchCache<'_> = HashMap::new();
+        let mut keys: Vec<Key> = Vec::new();
+        let mut candidates: Vec<&[(u32, f64)]> = Vec::new();
+        let mut scratch: HashMap<u32, f64> = HashMap::new();
+        let mut out = Vec::with_capacity(requests.len());
+        for (r, request) in requests.iter().enumerate() {
+            let mut stats = RetrievalStats::default();
+            self.expand_keys_into(
+                request.query,
+                &request.preclick_items,
+                &mut stats,
+                &mut keys,
+            );
+            candidates.clear();
+            for key in &keys {
+                let slice = match fetched.entry((key.is_item, key.id)) {
+                    Entry::Occupied(e) => {
+                        let &(first, slice) = e.get();
+                        // a repeat within the *same* request re-scans in the
+                        // single-request path too — keep the counts aligned
+                        if first == r {
+                            stats.postings_scanned += slice.len();
+                        }
+                        slice
+                    }
+                    Entry::Vacant(v) => {
+                        let slice = self.key_candidates(key, per_key);
+                        stats.postings_scanned += slice.len();
+                        v.insert((r, slice)).1
+                    }
+                };
+                candidates.push(slice);
+            }
+            let ads = score_candidates(
+                &keys,
+                &candidates,
+                self.config.final_top_n,
+                &mut scratch,
+                &mut stats,
+            );
+            out.push((ads, stats));
+        }
+        out
     }
 
     /// Serve one request: query + pre-click items → ranked ads.
@@ -269,6 +319,65 @@ impl TwoLayerRetriever {
         ads.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ad.cmp(&b.ad)));
         ads
     }
+}
+
+/// Second-layer scoring shared by every serving path (single request,
+/// deduplicated batch, sharded fan-out): merge per-key candidate lists into
+/// a ranked ad list. The score of an ad reached through several keys is the
+/// maximum of its per-key scores — rewriting should not double-count
+/// popularity. Tracks which key origins contributed candidates, so the
+/// reported coverage source answers "would this request be covered without
+/// the expansion / pre-click channels?".
+///
+/// `candidates` is aligned with `keys` (one list per key occurrence).
+/// Scan counting is the *caller's* job — done where the candidates are
+/// fetched, so deduplicated fetches are not double-counted here.
+/// `merged_scratch` is a reusable accumulator (cleared on entry).
+pub(crate) fn score_candidates(
+    keys: &[Key],
+    candidates: &[&[(u32, f64)]],
+    final_top_n: usize,
+    merged_scratch: &mut HashMap<u32, f64>,
+    stats: &mut RetrievalStats,
+) -> Vec<RetrievedAd> {
+    debug_assert_eq!(keys.len(), candidates.len());
+    let mut origins: (bool, bool, bool) = (false, false, false);
+    merged_scratch.clear();
+    for (key, list) in keys.iter().zip(candidates) {
+        if !list.is_empty() {
+            match key.origin {
+                KeyOrigin::RawQuery => origins.0 = true,
+                KeyOrigin::QueryExpansion => origins.1 = true,
+                KeyOrigin::Preclick => origins.2 = true,
+            }
+        }
+        for (ad, d) in list.iter() {
+            let score = key.weight * distance_to_score(*d);
+            let entry = merged_scratch.entry(*ad).or_insert(f64::NEG_INFINITY);
+            if score > *entry {
+                *entry = score;
+            }
+        }
+    }
+    let mut ads: Vec<RetrievedAd> = merged_scratch
+        .iter()
+        .map(|(&ad, &score)| RetrievedAd { ad, score })
+        .collect();
+    // total_cmp instead of partial_cmp().unwrap(): scores are NaN-free
+    // (distance_to_score maps NaN to 0) but the sort must stay
+    // panic-free for any f64 regardless
+    ads.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ad.cmp(&b.ad)));
+    ads.truncate(final_top_n);
+    stats.coverage = if origins.0 {
+        CoverageSource::DirectQuery
+    } else if origins.1 {
+        CoverageSource::ExpandedKeys
+    } else if origins.2 {
+        CoverageSource::PreclickItems
+    } else {
+        CoverageSource::None
+    };
+    ads
 }
 
 #[cfg(test)]
@@ -357,6 +466,64 @@ mod tests {
         );
         assert!(stats.postings_scanned >= ads.len());
         assert_eq!(stats.coverage, CoverageSource::DirectQuery);
+    }
+
+    #[test]
+    fn batch_dedup_cuts_second_layer_scans_without_changing_rankings() {
+        let r = retriever();
+        let requests: Vec<Request> = (0..4)
+            .map(|_| Request {
+                query: 3,
+                preclick_items: vec![101, 115],
+            })
+            .collect();
+        let batch = r.retrieve_batch_with_stats(&requests);
+        let (single_ads, single_stats) = r.retrieve_with_stats(3, &[101, 115]);
+        assert!(single_stats.postings_scanned > single_stats.keys_expanded);
+        for (ads, stats) in &batch {
+            assert_eq!(ads, &single_ads, "dedup must not change the ranking");
+            assert_eq!(stats.coverage, single_stats.coverage);
+            assert_eq!(stats.keys_expanded, single_stats.keys_expanded);
+        }
+        // the first request pays the full scan bill ...
+        assert_eq!(batch[0].1, single_stats);
+        // ... repeats share its second-layer fetches, so they scan strictly
+        // fewer postings and the batch is measurably cheaper than N singles
+        for (_, stats) in &batch[1..] {
+            assert!(
+                stats.postings_scanned < single_stats.postings_scanned,
+                "shared keys must not be re-scanned ({} vs {})",
+                stats.postings_scanned,
+                single_stats.postings_scanned
+            );
+        }
+        let batch_total: usize = batch.iter().map(|(_, s)| s.postings_scanned).sum();
+        assert!(
+            batch_total < requests.len() * single_stats.postings_scanned,
+            "batch total {batch_total} must beat {} independent scans",
+            requests.len() * single_stats.postings_scanned
+        );
+    }
+
+    #[test]
+    fn batch_with_distinct_requests_matches_the_single_path_per_request() {
+        let r = retriever();
+        let requests: Vec<Request> = (0..10u32)
+            .map(|q| Request {
+                query: q,
+                preclick_items: vec![100 + q],
+            })
+            .collect();
+        let batch = r.retrieve_batch_with_stats(&requests);
+        for (request, (ads, stats)) in requests.iter().zip(&batch) {
+            let (single_ads, single_stats) =
+                r.retrieve_with_stats(request.query, &request.preclick_items);
+            assert_eq!(ads, &single_ads);
+            assert_eq!(stats.coverage, single_stats.coverage);
+            assert_eq!(stats.keys_expanded, single_stats.keys_expanded);
+            // scans may only ever be saved, never added
+            assert!(stats.postings_scanned <= single_stats.postings_scanned);
+        }
     }
 
     #[test]

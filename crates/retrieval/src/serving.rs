@@ -11,8 +11,9 @@
 //! shows up as a steep latency increase, exactly like the paper's figure).
 //! Each request's completion is timestamped individually so the curve
 //! reflects true per-request latency, not batch-end latency; transport-
-//! level response batching is what [`RetrievalEngine::retrieve_batch`]
-//! models for callers that want it.
+//! level response batching is what
+//! [`crate::RetrievalEngine::retrieve_batch`] models for callers that
+//! want it.
 //!
 //! Idle workers park on a condition variable instead of spinning: a low
 //! offered load no longer burns a full core per worker waiting for the
@@ -23,10 +24,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Condvar;
 use std::time::{Duration, Instant};
 
-use crate::engine::{Request, RetrievalEngine};
+use crate::engine::{Request, Retrieve};
 use crate::error::RetrievalError;
 
 /// Latency statistics of one load level.
+///
+/// The tail is reported at p90 / p95 / p99, not p50 → p99 alone: the
+/// saturation knee of the Fig. 9 curve shows up in the intermediate
+/// percentiles first (queueing delay hits the slowest decile long before
+/// it moves the median).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadReport {
     /// Offered load in requests per second.
@@ -39,6 +45,10 @@ pub struct LoadReport {
     pub mean_ms: f64,
     /// Median response time in milliseconds.
     pub p50_ms: f64,
+    /// 90th-percentile response time in milliseconds.
+    pub p90_ms: f64,
+    /// 95th-percentile response time in milliseconds.
+    pub p95_ms: f64,
     /// 99th-percentile response time in milliseconds.
     pub p99_ms: f64,
     /// Achieved throughput in requests per second.
@@ -129,10 +139,12 @@ impl RequestQueue {
     }
 }
 
-/// The serving simulator: a parked-worker pool around a
-/// [`RetrievalEngine`].
+/// The serving simulator: a parked-worker pool around any [`Retrieve`]
+/// implementation — a single [`crate::RetrievalEngine`], a
+/// [`crate::ShardedEngine`] fan-out, or a hot-swappable
+/// [`crate::EngineHandle`].
 pub struct ServingSimulator<'a> {
-    engine: &'a RetrievalEngine,
+    engine: &'a dyn Retrieve,
     config: ServingConfig,
 }
 
@@ -145,8 +157,8 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 }
 
 impl<'a> ServingSimulator<'a> {
-    /// Create a simulator around an engine.
-    pub fn new(engine: &'a RetrievalEngine, config: ServingConfig) -> Self {
+    /// Create a simulator around any serving engine.
+    pub fn new(engine: &'a dyn Retrieve, config: ServingConfig) -> Self {
         ServingSimulator { engine, config }
     }
 
@@ -230,6 +242,8 @@ impl<'a> ServingSimulator<'a> {
                 ms.iter().sum::<f64>() / completed as f64
             },
             p50_ms: percentile(&ms, 0.50),
+            p90_ms: percentile(&ms, 0.90),
+            p95_ms: percentile(&ms, 0.95),
             p99_ms: percentile(&ms, 0.99),
             achieved_qps: completed as f64 / wall.max(1e-9),
         }
@@ -247,6 +261,7 @@ impl<'a> ServingSimulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::RetrievalEngine;
     use crate::test_fixtures::tiny_inputs;
 
     fn engine() -> RetrievalEngine {
@@ -281,8 +296,33 @@ mod tests {
         assert_eq!(report.completed, 200);
         assert_eq!(report.no_coverage, 0);
         assert!(report.mean_ms >= 0.0);
-        assert!(report.p50_ms <= report.p99_ms + 1e-9);
+        // the percentile ladder must be monotone
+        assert!(report.p50_ms <= report.p90_ms + 1e-9);
+        assert!(report.p90_ms <= report.p95_ms + 1e-9);
+        assert!(report.p95_ms <= report.p99_ms + 1e-9);
         assert!(report.achieved_qps > 0.0);
+    }
+
+    #[test]
+    fn simulator_serves_sharded_engines_and_handles_through_the_trait() {
+        let sharded = crate::ShardedEngine::builder()
+            .shards(2)
+            .top_k(8)
+            .threads(1)
+            .build(&tiny_inputs())
+            .expect("tiny inputs build a valid sharded engine");
+        let config = ServingConfig {
+            workers: 2,
+            requests_per_level: 80,
+            batch_size: 4,
+        };
+        let report = ServingSimulator::new(&sharded, config).run_level(&requests(), 10_000.0);
+        assert_eq!(report.completed, 80);
+        assert_eq!(report.no_coverage, 0);
+        let handle = crate::EngineHandle::new(sharded);
+        let report = ServingSimulator::new(&handle, config).run_level(&requests(), 10_000.0);
+        assert_eq!(report.completed, 80);
+        assert_eq!(report.no_coverage, 0);
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! Sharded serving: [`ShardedEngine`] partitions the ad corpus across N
+//! shards and merges per-shard results into the globally correct ranking.
+//!
+//! The paper's production deployment (Fig. 9 / Table IX) spreads both the
+//! offline MNN index build and the online iGraph serving layer across a
+//! cluster; one monolithic [`RetrievalEngine`] cannot model that. Here the
+//! [`IndexBuildInputs`] are split **by ad** with a deterministic hash
+//! ([`ad_shard`]): each shard receives the full query / item point sets
+//! (so every shard builds identical first-layer key indices and expands a
+//! request to the same key set) but only its slice of the ads (so the
+//! expensive second-layer Q2A / I2A builds and scans are divided N ways).
+//!
+//! ## Why the merge is exactly right, not approximately right
+//!
+//! Serving fans a request out to every shard and must return *precisely*
+//! what a single engine over the whole corpus would return — otherwise
+//! resharding would change ranking behaviour in production. The naive
+//! merge (concatenate per-shard top-k responses, re-sort) is **wrong**:
+//! each shard's per-key `ads_per_key` cut admits ads the global cut would
+//! have rejected, and such an ad can sneak into the merged top-n. Instead
+//! the merge happens one level lower, per expanded key: every shard
+//! contributes its posting-list prefix for the key, the prefixes are
+//! merged in the index build's `(distance, id)` order and re-cut to the
+//! global prefix length, and only then does the shared scoring path run.
+//! Because posting lists are the k smallest `(distance, id)` pairs and
+//! shards partition the candidates, the merged prefix is bit-for-bit the
+//! prefix a whole-corpus index would have produced — parity holds for the
+//! ads, the scores, the stats and the coverage attribution alike (the
+//! property test in this module asserts all four).
+//!
+//! With the (deterministic) exact backend this parity is unconditional.
+//! With IVF it holds only under full probing: per-shard clustering is a
+//! different quantisation than whole-corpus clustering, so partial probes
+//! may recall different candidates per shard.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::engine::{Request, RetrievalEngine, RetrievalResponse, RetrievalStats, Retrieve};
+use crate::error::RetrievalError;
+use crate::index_set::{IndexBuildConfig, IndexBuildInputs};
+use crate::retriever::{score_candidates, RetrievalConfig};
+
+/// Batch-scope gather cache: `(is_item, key id)` → (index of the request
+/// that first gathered it, the merged whole-corpus candidate prefix).
+type MergedCache = HashMap<(bool, u32), (usize, Vec<(u32, f64)>)>;
+
+/// Deterministic shard assignment for an ad id (Fibonacci hashing): the
+/// same ad always lands on the same shard, independent of shard build
+/// order, platform or process. Exposed so routers / delta-update tooling
+/// can compute placements without an engine.
+pub fn ad_shard(ad: u32, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    // multiplicative hash: the golden-ratio multiplier decorrelates
+    // consecutive ids, and dropping the 7 low product bits (which barely
+    // mix) before the mod keeps small shard counts from seeing patterns
+    (ad.wrapping_mul(0x9E37_79B9) >> 7) as usize % shards
+}
+
+/// Split index-build inputs into per-shard inputs: ads hash-partitioned by
+/// [`ad_shard`], queries and items replicated so every shard can expand
+/// keys locally. A shard may end up with no ads at all (tiny corpora);
+/// [`ShardedEngineBuilder::build`] skips such shards at build time.
+pub fn shard_inputs(inputs: &IndexBuildInputs, shards: usize) -> Vec<IndexBuildInputs> {
+    let ads_qa = inputs
+        .ads_qa
+        .partition_by(shards, |ad| ad_shard(ad, shards));
+    let ads_ia = inputs
+        .ads_ia
+        .partition_by(shards, |ad| ad_shard(ad, shards));
+    ads_qa
+        .into_iter()
+        .zip(ads_ia)
+        .map(|(ads_qa, ads_ia)| IndexBuildInputs {
+            queries_qq: inputs.queries_qq.clone(),
+            queries_qi: inputs.queries_qi.clone(),
+            items_qi: inputs.items_qi.clone(),
+            queries_qa: inputs.queries_qa.clone(),
+            ads_qa,
+            items_ii: inputs.items_ii.clone(),
+            items_ia: inputs.items_ia.clone(),
+            ads_ia,
+        })
+        .collect()
+}
+
+/// Builder for [`ShardedEngine`] — the same knobs as
+/// [`crate::RetrievalEngineBuilder`] plus the shard count.
+#[derive(Debug, Clone)]
+pub struct ShardedEngineBuilder {
+    shards: usize,
+    index: IndexBuildConfig,
+    retrieval: RetrievalConfig,
+}
+
+impl Default for ShardedEngineBuilder {
+    fn default() -> Self {
+        ShardedEngineBuilder {
+            shards: 1,
+            index: IndexBuildConfig::default(),
+            retrieval: RetrievalConfig::default(),
+        }
+    }
+}
+
+impl ShardedEngineBuilder {
+    /// Number of shards the ad corpus is hash-partitioned into (default 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Select the ANN backend every shard builds its indices with.
+    pub fn backend(mut self, backend: amcad_mnn::IndexBackend) -> Self {
+        self.index.backend = backend;
+        self
+    }
+
+    /// Posting-list length kept per key (default 20).
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.index.top_k = top_k;
+        self
+    }
+
+    /// Worker threads per shard build (default 4).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.index.threads = threads;
+        self
+    }
+
+    /// Replace the whole index-construction configuration.
+    pub fn index(mut self, index: IndexBuildConfig) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Replace the two-layer retrieval configuration.
+    pub fn retrieval(mut self, retrieval: RetrievalConfig) -> Self {
+        self.retrieval = retrieval;
+        self
+    }
+
+    /// Partition the inputs and build one [`RetrievalEngine`] per
+    /// non-empty shard. Shards that receive no ads are skipped (their
+    /// engines could never serve); if *every* shard is empty the build
+    /// fails with the same [`RetrievalError::EmptyIndex`] a single engine
+    /// over the whole inputs would report.
+    pub fn build(self, inputs: &IndexBuildInputs) -> Result<ShardedEngine, RetrievalError> {
+        if self.shards == 0 {
+            return Err(RetrievalError::InvalidConfig(
+                "shard count must be positive".into(),
+            ));
+        }
+        let mut engines = Vec::with_capacity(self.shards);
+        for shard_inputs in shard_inputs(inputs, self.shards) {
+            if shard_inputs.ads_qa.is_empty() && shard_inputs.ads_ia.is_empty() {
+                continue; // the hash left this shard adless — skip it
+            }
+            let engine = RetrievalEngine::builder()
+                .index(self.index)
+                .retrieval(self.retrieval)
+                .build(&shard_inputs)?;
+            engines.push(engine);
+        }
+        if engines.is_empty() {
+            return Err(RetrievalError::EmptyIndex { indices: "q2a+i2a" });
+        }
+        Ok(ShardedEngine {
+            shards: engines,
+            num_shards: self.shards,
+            index_config: self.index,
+            retrieval: self.retrieval,
+        })
+    }
+}
+
+/// An ad corpus hash-partitioned across N single-node engines, served by
+/// fanning each request out to every shard and merging per-key candidate
+/// prefixes back into the globally correct ranking (see the module docs
+/// for why the merge is exact).
+///
+/// The merged [`RetrievalStats`] describe the *logical* request — they are
+/// identical to what a single whole-corpus engine would report, which is
+/// what makes shard count a pure deployment knob. The raw cluster-wide
+/// work (each shard scans its own first layer) is `active_shards()` times
+/// the first-layer share of the counters.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    shards: Vec<RetrievalEngine>,
+    num_shards: usize,
+    index_config: IndexBuildConfig,
+    retrieval: RetrievalConfig,
+}
+
+impl ShardedEngine {
+    /// Start building a sharded engine.
+    pub fn builder() -> ShardedEngineBuilder {
+        ShardedEngineBuilder::default()
+    }
+
+    /// The configured shard count (including shards skipped for emptiness).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of shards actually holding ads and serving.
+    pub fn active_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engines, in shard order (empty shards omitted).
+    pub fn shard_engines(&self) -> &[RetrievalEngine] {
+        &self.shards
+    }
+
+    /// The index-construction configuration every shard was built with.
+    pub fn index_config(&self) -> &IndexBuildConfig {
+        &self.index_config
+    }
+
+    /// The two-layer retrieval configuration.
+    pub fn config(&self) -> &RetrievalConfig {
+        &self.retrieval
+    }
+
+    /// The globally correct candidate prefix of one key: every shard's
+    /// local prefix, merged in the index build's posting order (distance,
+    /// then id — NaN distances were normalised to +inf at build time) and
+    /// re-cut to the whole-corpus prefix length. A whole-corpus posting
+    /// list is at most `top_k` long, so the global cut is
+    /// `min(ads_per_key, top_k)`.
+    fn merged_candidates(&self, key: &crate::retriever::Key) -> Vec<(u32, f64)> {
+        let per_key = self.retrieval.ads_per_key;
+        let global_cut = per_key.min(self.index_config.top_k);
+        let mut list: Vec<(u32, f64)> = Vec::new();
+        for shard in &self.shards {
+            list.extend_from_slice(shard.retriever().key_candidates(key, per_key));
+        }
+        list.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        list.truncate(global_cut);
+        list
+    }
+
+    /// Serve one request: expand keys once (first-layer indices are
+    /// replicated, so any shard's expansion is *the* expansion), gather
+    /// each shard's per-key candidate prefix, merge and re-cut to the
+    /// global prefix, then score through the shared path.
+    pub fn retrieve(&self, request: &Request) -> Result<RetrievalResponse, RetrievalError> {
+        let mut stats = RetrievalStats::default();
+        let mut keys = Vec::new();
+        self.shards[0].retriever().expand_keys_into(
+            request.query,
+            &request.preclick_items,
+            &mut stats,
+            &mut keys,
+        );
+        let merged: Vec<Vec<(u32, f64)>> = keys
+            .iter()
+            .map(|key| {
+                let list = self.merged_candidates(key);
+                stats.postings_scanned += list.len();
+                list
+            })
+            .collect();
+        let candidates: Vec<&[(u32, f64)]> = merged.iter().map(Vec::as_slice).collect();
+        let mut scratch = HashMap::new();
+        let ads = score_candidates(
+            &keys,
+            &candidates,
+            self.retrieval.final_top_n,
+            &mut scratch,
+            &mut stats,
+        );
+        if ads.is_empty() {
+            return Err(RetrievalError::NoCoverage {
+                query: request.query,
+                stats,
+            });
+        }
+        Ok(RetrievalResponse { ads, stats })
+    }
+
+    /// Serve a batch with the same cross-request scan dedup as
+    /// [`RetrievalEngine::retrieve_batch`]: the merged candidate prefix of
+    /// each distinct `(layer, key)` is gathered from the shards once per
+    /// batch, attributed to the first request that needed it. Rankings and
+    /// stats are identical to what the single-node batch path reports over
+    /// the whole corpus — batching semantics are topology-invariant.
+    pub fn retrieve_batch(
+        &self,
+        requests: &[Request],
+    ) -> Vec<Result<RetrievalResponse, RetrievalError>> {
+        let mut fetched: MergedCache = HashMap::new();
+        let mut keys = Vec::new();
+        let mut scratch = HashMap::new();
+        let mut out = Vec::with_capacity(requests.len());
+        for (r, request) in requests.iter().enumerate() {
+            let mut stats = RetrievalStats::default();
+            self.shards[0].retriever().expand_keys_into(
+                request.query,
+                &request.preclick_items,
+                &mut stats,
+                &mut keys,
+            );
+            // gather pass: fill the cache and count scans (a repeat within
+            // the *same* request re-counts, mirroring the single path)
+            for key in &keys {
+                match fetched.entry((key.is_item, key.id)) {
+                    Entry::Occupied(e) => {
+                        if e.get().0 == r {
+                            stats.postings_scanned += e.get().1.len();
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        let list = self.merged_candidates(key);
+                        stats.postings_scanned += list.len();
+                        v.insert((r, list));
+                    }
+                }
+            }
+            // score pass: borrow the now-stable cache entries
+            let candidates: Vec<&[(u32, f64)]> = keys
+                .iter()
+                .map(|key| fetched[&(key.is_item, key.id)].1.as_slice())
+                .collect();
+            let ads = score_candidates(
+                &keys,
+                &candidates,
+                self.retrieval.final_top_n,
+                &mut scratch,
+                &mut stats,
+            );
+            out.push(if ads.is_empty() {
+                Err(RetrievalError::NoCoverage {
+                    query: request.query,
+                    stats,
+                })
+            } else {
+                Ok(RetrievalResponse { ads, stats })
+            });
+        }
+        out
+    }
+}
+
+impl Retrieve for ShardedEngine {
+    fn retrieve(&self, request: &Request) -> Result<RetrievalResponse, RetrievalError> {
+        ShardedEngine::retrieve(self, request)
+    }
+
+    fn retrieve_batch(
+        &self,
+        requests: &[Request],
+    ) -> Vec<Result<RetrievalResponse, RetrievalError>> {
+        ShardedEngine::retrieve_batch(self, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{random_points, tiny_inputs};
+    use amcad_mnn::{IndexBackend, IvfConfig, MixedPointSet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn single_engine(inputs: &IndexBuildInputs, top_k: usize) -> RetrievalEngine {
+        RetrievalEngine::builder()
+            .top_k(top_k)
+            .threads(1)
+            .build(inputs)
+            .unwrap()
+    }
+
+    fn sharded_engine(inputs: &IndexBuildInputs, shards: usize, top_k: usize) -> ShardedEngine {
+        ShardedEngine::builder()
+            .shards(shards)
+            .top_k(top_k)
+            .threads(1)
+            .build(inputs)
+            .unwrap()
+    }
+
+    #[test]
+    fn ad_shard_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for ad in (0..2000u32).step_by(13) {
+                let s = ad_shard(ad, shards);
+                assert!(s < shards);
+                assert_eq!(s, ad_shard(ad, shards), "assignment must be stable");
+            }
+        }
+        // the hash actually spreads ads (no degenerate single-shard pile-up)
+        let mut counts = [0usize; 4];
+        for ad in 0..1000u32 {
+            counts[ad_shard(ad, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 100), "skewed split: {counts:?}");
+    }
+
+    #[test]
+    fn shard_inputs_partition_ads_and_replicate_keys() {
+        let inputs = tiny_inputs();
+        let parts = shard_inputs(&inputs, 3);
+        assert_eq!(parts.len(), 3);
+        let total_qa: usize = parts.iter().map(|p| p.ads_qa.len()).sum();
+        let total_ia: usize = parts.iter().map(|p| p.ads_ia.len()).sum();
+        assert_eq!(total_qa, inputs.ads_qa.len());
+        assert_eq!(total_ia, inputs.ads_ia.len());
+        for (s, part) in parts.iter().enumerate() {
+            assert_eq!(part.queries_qq.ids(), inputs.queries_qq.ids());
+            assert_eq!(part.items_ii.ids(), inputs.items_ii.ids());
+            // both ad spaces of one shard hold the same ad ids
+            let mut qa: Vec<u32> = part.ads_qa.ids().to_vec();
+            let mut ia: Vec<u32> = part.ads_ia.ids().to_vec();
+            qa.sort_unstable();
+            ia.sort_unstable();
+            assert_eq!(qa, ia);
+            for &ad in part.ads_qa.ids() {
+                assert_eq!(ad_shard(ad, 3), s);
+            }
+        }
+    }
+
+    /// The acceptance-criterion property: over random worlds and every
+    /// shard count in {1, 2, 4}, the sharded engine returns exactly the
+    /// single engine's response — ads, scores, stats and coverage — and
+    /// exactly its errors.
+    #[test]
+    fn sharded_engine_matches_single_engine_for_any_inputs_and_shard_count() {
+        let mut rng = StdRng::seed_from_u64(0x5ead);
+        for case in 0..12u64 {
+            let n_ads = 3 + (case as u32 % 20); // includes corpora smaller than the shard count
+            let inputs = IndexBuildInputs {
+                queries_qq: random_points(0..10, 100 + case),
+                queries_qi: random_points(0..10, 200 + case),
+                items_qi: random_points(100..130, 300 + case),
+                queries_qa: random_points(0..10, 400 + case),
+                ads_qa: random_points(200..200 + n_ads, 500 + case),
+                items_ii: random_points(100..130, 600 + case),
+                items_ia: random_points(100..130, 700 + case),
+                ads_ia: random_points(200..200 + n_ads, 800 + case),
+            };
+            let top_k = 4 + (case as usize % 8);
+            let single = single_engine(&inputs, top_k);
+            for shards in [1usize, 2, 4] {
+                let sharded = sharded_engine(&inputs, shards, top_k);
+                for _ in 0..20 {
+                    let request = Request {
+                        query: rng.gen_range(0..12u32), // sometimes unknown
+                        preclick_items: (0..rng.gen_range(0..3usize))
+                            .map(|_| rng.gen_range(100..132u32))
+                            .collect(),
+                    };
+                    let a = single.retrieve(&request);
+                    let b = sharded.retrieve(&request);
+                    assert_eq!(
+                        a, b,
+                        "parity failed: case {case}, {shards} shards, request {request:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_probe_ivf_sharding_matches_the_single_ivf_engine() {
+        let inputs = tiny_inputs();
+        let backend = IndexBackend::Ivf(IvfConfig {
+            num_clusters: 3,
+            kmeans_iters: 4,
+            nprobe: 3, // full probing: quantisation cannot hide candidates
+            seed: 11,
+        });
+        let single = RetrievalEngine::builder()
+            .backend(backend)
+            .top_k(8)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        let sharded = ShardedEngine::builder()
+            .shards(2)
+            .backend(backend)
+            .top_k(8)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        for q in 0..10u32 {
+            let request = Request {
+                query: q,
+                preclick_items: vec![100 + q],
+            };
+            assert_eq!(single.retrieve(&request), sharded.retrieve(&request));
+        }
+    }
+
+    #[test]
+    fn unknown_query_yields_the_single_engines_exact_no_coverage_error() {
+        let inputs = tiny_inputs();
+        let single = single_engine(&inputs, 8);
+        let sharded = sharded_engine(&inputs, 4, 8);
+        let request = Request {
+            query: 9999,
+            preclick_items: vec![],
+        };
+        let single_err = single.retrieve(&request).unwrap_err();
+        let sharded_err = sharded.retrieve(&request).unwrap_err();
+        assert!(matches!(
+            sharded_err,
+            RetrievalError::NoCoverage { query: 9999, .. }
+        ));
+        assert_eq!(single_err, sharded_err, "stats in the error must match too");
+    }
+
+    #[test]
+    fn empty_shards_are_skipped_and_serving_still_covers_everything() {
+        // one single ad: with 4 shards, three shards receive nothing
+        let mut inputs = tiny_inputs();
+        inputs.ads_qa = inputs.ads_qa.filtered(|ad| ad == 200);
+        inputs.ads_ia = inputs.ads_ia.filtered(|ad| ad == 200);
+        let sharded = sharded_engine(&inputs, 4, 8);
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.active_shards(), 1);
+        let single = single_engine(&inputs, 8);
+        for q in 0..10u32 {
+            let request = Request {
+                query: q,
+                preclick_items: vec![100 + q],
+            };
+            assert_eq!(single.retrieve(&request), sharded.retrieve(&request));
+        }
+    }
+
+    #[test]
+    fn adless_inputs_and_zero_shards_fail_like_the_single_builder() {
+        let manifold = tiny_inputs().ads_qa.manifold().clone();
+        let empty = MixedPointSet::new(manifold);
+        let mut no_ads = tiny_inputs();
+        no_ads.ads_qa = empty.clone();
+        no_ads.ads_ia = empty;
+        assert_eq!(
+            ShardedEngine::builder()
+                .shards(4)
+                .build(&no_ads)
+                .unwrap_err(),
+            RetrievalError::EmptyIndex { indices: "q2a+i2a" }
+        );
+        assert!(matches!(
+            ShardedEngine::builder()
+                .shards(0)
+                .build(&tiny_inputs())
+                .unwrap_err(),
+            RetrievalError::InvalidConfig(_)
+        ));
+        // invalid per-shard configuration surfaces through the same path
+        assert!(matches!(
+            ShardedEngine::builder()
+                .shards(2)
+                .top_k(0)
+                .build(&tiny_inputs())
+                .unwrap_err(),
+            RetrievalError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn batched_serving_is_topology_invariant_including_dedup_attribution() {
+        // the sharded batch path must report exactly what the single-node
+        // batch path reports — rankings AND deduplicated scan counts — so
+        // batching semantics don't depend on the deployment topology
+        let inputs = tiny_inputs();
+        let single = single_engine(&inputs, 8);
+        let sharded = sharded_engine(&inputs, 2, 8);
+        let mut requests: Vec<Request> = (0..6u32)
+            .map(|q| Request {
+                query: q,
+                preclick_items: vec![100 + q],
+            })
+            .collect();
+        // repeats make the cross-request dedup actually fire
+        requests.push(requests[0].clone());
+        requests.push(requests[2].clone());
+        let serving: &dyn Retrieve = &sharded;
+        let sharded_batch = serving.retrieve_batch(&requests);
+        let single_batch = single.retrieve_batch(&requests);
+        assert_eq!(sharded_batch, single_batch);
+        // and the dedup really saved scans on the repeated requests
+        let scans = |r: &Result<RetrievalResponse, RetrievalError>| {
+            r.as_ref().unwrap().stats.postings_scanned
+        };
+        assert!(scans(&sharded_batch[6]) < scans(&sharded_batch[0]));
+    }
+}

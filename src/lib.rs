@@ -14,7 +14,7 @@
 //! | [`datagen`] | `amcad-datagen` | synthetic sponsored-search behaviour-log generator |
 //! | [`model`] | `amcad-model` | the adaptive mixed-curvature model family + walk baselines |
 //! | [`mnn`] | `amcad-mnn` | pluggable ANN backends (`AnnIndex`): exact parallel scan, tangent-space IVF |
-//! | [`retrieval`] | `amcad-retrieval` | the `RetrievalEngine` (two-layer retrieval, batching, typed errors) and serving simulator |
+//! | [`retrieval`] | `amcad-retrieval` | the serving triad — `Retrieve` trait, `RetrievalEngine` / `ShardedEngine`, hot-swappable `EngineHandle` — plus the load simulator |
 //! | [`eval`] | `amcad-eval` | ranking metrics and the A/B click/revenue simulator |
 //! | [`core`] | `amcad-core` | the end-to-end pipeline and the offline evaluation protocol |
 //!
@@ -41,35 +41,52 @@
 //! );
 //! ```
 //!
-//! ## Picking an ANN backend
+//! ## The serving triad: `Retrieve`, `ShardedEngine`, `EngineHandle`
 //!
-//! Index construction and serving are generic over the [`mnn::AnnIndex`]
-//! backend; the engine builder selects one per deployment:
+//! Production callers program against the object-safe
+//! [`retrieval::Retrieve`] trait; the deployment topology behind it is a
+//! pure configuration choice:
 //!
 //! ```no_run
 //! use amcad::core::{build_index_inputs, Pipeline, PipelineConfig};
 //! use amcad::mnn::{IndexBackend, IvfConfig};
-//! use amcad::retrieval::RetrievalEngine;
+//! use amcad::retrieval::{EngineHandle, Retrieve, RetrievalEngine, ShardedEngine};
 //!
 //! let result = Pipeline::new(PipelineConfig::small(42)).run();
 //! let inputs = build_index_inputs(&result.export, &result.dataset);
 //!
-//! // exact multi-threaded scan (the paper's MNN module) ...
+//! // one node: exact multi-threaded scan (the paper's MNN module) ...
 //! let exact = RetrievalEngine::builder()
 //!     .backend(IndexBackend::Exact)
 //!     .build(&inputs)?;
-//! // ... or approximate IVF with a recall/latency trade-off
+//! // ... or approximate IVF with a recall/latency trade-off ...
 //! let ivf = RetrievalEngine::builder()
 //!     .backend(IndexBackend::Ivf(IvfConfig::default()))
 //!     .build(&inputs)?;
 //! assert_eq!(exact.indexes().total_keys(), ivf.indexes().total_keys());
+//!
+//! // ... or the ad corpus hash-partitioned across 4 shards, with
+//! // fan-out serving that returns bit-identical rankings
+//! let sharded = ShardedEngine::builder().shards(4).build(&inputs)?;
+//!
+//! // live serving sits behind a hot-swappable handle: rebuild offline,
+//! // publish with one snapshot swap, zero downtime
+//! let handle = EngineHandle::new(sharded);
+//! let serving: &dyn Retrieve = &handle;
+//! # let _ = serving;
+//! let rebuilt = ShardedEngine::builder().shards(4).build(&inputs)?;
+//! let generation = handle.publish(rebuilt);
+//! assert_eq!(handle.generation(), generation);
 //! # Ok::<(), amcad::retrieval::RetrievalError>(())
 //! ```
 //!
-//! The `PipelineConfig::with_backend` knob threads the same selection
+//! The `PipelineConfig::with_backend` knob threads the backend selection
 //! through the one-call pipeline, and `ServingSimulator` load-tests any
-//! engine (see `examples/online_serving.rs` and the `fig9_serving_latency`
-//! benchmark binary for the exact-vs-IVF sweep).
+//! [`retrieval::Retrieve`] implementation (see
+//! `examples/online_serving.rs` for the topology sweep,
+//! `examples/incremental_training.rs` for the rebuild-and-publish loop,
+//! and the `fig9_serving_latency` / `table9_scalability` benchmark
+//! binaries for the latency and shard-count sweeps).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the

@@ -2,11 +2,13 @@
 //! relative to baselines, and consistency between the model export, the MNN
 //! indices and the two-layer retriever.
 
-use amcad::core::{evaluate_offline, EvalConfig, Pipeline, PipelineConfig, RandomScorer};
+use amcad::core::{
+    build_index_inputs, evaluate_offline, EvalConfig, Pipeline, PipelineConfig, RandomScorer,
+};
 use amcad::datagen::{Dataset, WorldConfig};
 use amcad::graph::{NodeId, NodeType};
 use amcad::model::{PairScorer, RelationKind, SgnsConfig, SgnsModel, WalkStrategy};
-use amcad::retrieval::Request;
+use amcad::retrieval::{EngineHandle, Request, Retrieve, ShardedEngine};
 
 fn pipeline_result() -> amcad::core::PipelineResult {
     Pipeline::new(PipelineConfig::small(2024)).run()
@@ -129,6 +131,57 @@ fn walk_baselines_and_amcad_are_comparable_through_the_same_protocol() {
         "DeepWalk should be clearly above chance-floor scores"
     );
     assert_eq!(sgns.scorer_name(), "DeepWalk");
+}
+
+#[test]
+fn sharded_serving_and_hot_swap_agree_with_the_monolithic_engine_end_to_end() {
+    // The serving triad over real pipeline output: a ShardedEngine must
+    // reproduce the monolithic engine's responses exactly at every shard
+    // count, directly and through an EngineHandle publish cycle.
+    let result = pipeline_result();
+    let inputs = build_index_inputs(&result.export, &result.dataset);
+    let requests: Vec<Request> = result
+        .dataset
+        .eval_sessions
+        .iter()
+        .take(40)
+        .map(|s| Request {
+            query: s.query.0,
+            preclick_items: result
+                .dataset
+                .preclick_items(s)
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        })
+        .collect();
+    let handle = EngineHandle::new(result.engine.clone());
+    for shards in [2usize, 4] {
+        let sharded = ShardedEngine::builder()
+            .shards(shards)
+            .index(*result.engine.index_config())
+            .build(&inputs)
+            .expect("pipeline inputs build a valid sharded engine");
+        let generation = handle.publish(sharded.clone());
+        assert_eq!(handle.generation(), generation);
+        for request in &requests {
+            let single = result.engine.retrieve(request);
+            assert_eq!(single, sharded.retrieve(request), "{shards}-shard parity");
+            assert_eq!(
+                single,
+                handle.retrieve(request),
+                "handle serves the published build"
+            );
+        }
+        // batch path through the trait object, one pinned snapshot: the
+        // sharded batch must equal the single-node batch exactly (same
+        // rankings, same deduplicated scan attribution)
+        let serving: &dyn Retrieve = &handle;
+        assert_eq!(
+            serving.retrieve_batch(&requests),
+            result.engine.retrieve_batch(&requests)
+        );
+    }
 }
 
 #[test]
