@@ -17,7 +17,40 @@ use amcad_bench::Scale;
 use amcad_core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad_eval::TextTable;
 use amcad_mnn::{recall_at_k, IndexBackend, IvfConfig};
-use amcad_retrieval::{EngineHandle, Request, RetrievalEngine, ServingConfig, ServingSimulator};
+use amcad_retrieval::{
+    EngineHandle, LoadReport, Request, RetrievalEngine, ServingConfig, ServingSimulator,
+    ShardedEngine,
+};
+
+fn latency_table(reports: &[LoadReport]) -> TextTable {
+    // p90 / p95 sit between the median and p99 on purpose: the
+    // saturation knee moves the upper deciles well before the median
+    let mut table = TextTable::new(vec![
+        "Offered QPS",
+        "Completed",
+        "Achieved QPS",
+        "Mean (ms)",
+        "p50 (ms)",
+        "p90 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "No coverage",
+    ]);
+    for r in reports {
+        table.row(vec![
+            format!("{:.0}", r.offered_qps),
+            r.completed.to_string(),
+            format!("{:.0}", r.achieved_qps),
+            format!("{:.3}", r.mean_ms),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p90_ms),
+            format!("{:.3}", r.p95_ms),
+            format!("{:.3}", r.p99_ms),
+            r.no_coverage.to_string(),
+        ]);
+    }
+    table
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -101,35 +134,52 @@ fn main() {
         let handle = EngineHandle::new(engine.clone());
         let sim = ServingSimulator::new(&handle, serving);
         let reports = sim.sweep(&requests, &qps_levels);
-
-        // p90 / p95 sit between the median and p99 on purpose: the
-        // saturation knee moves the upper deciles well before the median
-        let mut table = TextTable::new(vec![
-            "Offered QPS",
-            "Completed",
-            "Achieved QPS",
-            "Mean (ms)",
-            "p50 (ms)",
-            "p90 (ms)",
-            "p95 (ms)",
-            "p99 (ms)",
-            "No coverage",
-        ]);
-        for r in &reports {
-            table.row(vec![
-                format!("{:.0}", r.offered_qps),
-                r.completed.to_string(),
-                format!("{:.0}", r.achieved_qps),
-                format!("{:.3}", r.mean_ms),
-                format!("{:.3}", r.p50_ms),
-                format!("{:.3}", r.p90_ms),
-                format!("{:.3}", r.p95_ms),
-                format!("{:.3}", r.p99_ms),
-                r.no_coverage.to_string(),
-            ]);
-        }
-        println!("{}", table.render());
+        println!("{}", latency_table(&reports).render());
     }
+
+    // -- The cluster topology: 2 shards × 2 replicas, parallel fan-out ----
+    // Same exact-backend rankings, but the paper's deployment shape: ads
+    // hash-partitioned, per-shard builds on the worker pool, replicated
+    // serving with round-robin — including the degraded case where one
+    // replica per shard has been killed and traffic has failed over.
+    let sharded = std::sync::Arc::new(
+        ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .fanout_threads(2)
+            .index(index_config)
+            .retrieval(retrieval_config)
+            .build(&inputs)
+            .expect("pipeline inputs always build a valid sharded engine"),
+    );
+    println!(
+        "-- topology: exact x{} shards x{} replicas (parallel fan-out)",
+        sharded.num_shards(),
+        sharded.replicas()
+    );
+    // the handle shares (not clones) the engine, so the replica kills
+    // below hit the instance actually serving traffic
+    let handle = EngineHandle::from_arc(sharded.clone());
+    let reports = ServingSimulator::new(&handle, serving).sweep(&requests, &qps_levels);
+    println!("{}", latency_table(&reports).render());
+    let healthy_serves = sharded.replica_serves();
+    for shard in 0..sharded.active_shards() {
+        sharded.fail_replica(shard, 1);
+    }
+    println!("-- same topology, one replica per shard killed (failover)");
+    let reports = ServingSimulator::new(&handle, serving).sweep(&requests, &qps_levels);
+    println!("{}", latency_table(&reports).render());
+    // delta since the kill, not cumulative totals: the killed replicas'
+    // healthy-sweep traffic would otherwise mask that they went silent
+    let routed_after_kill: Vec<Vec<u64>> = sharded
+        .replica_serves()
+        .iter()
+        .zip(&healthy_serves)
+        .map(|(now, before)| now.iter().zip(before).map(|(n, b)| n - b).collect())
+        .collect();
+    println!(
+        "requests routed per replica per shard since the kill: {routed_after_kill:?} — killed replicas received zero.\n"
+    );
 
     println!("Paper (Fig. 9): response time grows from ≈1.2 ms at 1K QPS to ≈4.5 ms at 50K QPS —");
     println!("a ten-fold QPS increase only roughly doubles latency until saturation.");

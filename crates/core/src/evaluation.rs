@@ -139,12 +139,18 @@ pub fn ranking_metrics<S: PairScorer + ?Sized>(
         let truth_ids: Vec<NodeId> = truth.iter().map(|(n, _)| *n).collect();
         let gains: Vec<(NodeId, f64)> = truth.iter().map(|(n, c)| (*n, *c as f64)).collect();
 
-        // Rank the full candidate set by the scorer.
+        // Rank the full candidate set by the scorer, best first. A NaN
+        // score ranks last, alongside -inf (and by-id within that tie
+        // group): a scorer that blows up on one pair must neither panic
+        // the sort (the old `partial_cmp().unwrap()` aborted the whole
+        // experiment run) nor hand that pair the top of the ranking,
+        // which is where a naive descending `total_cmp` would put NaN.
+        let rank_key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
         let mut scored: Vec<(NodeId, f64)> = candidates
             .iter()
             .map(|&c| (c, scorer.score_pair(query, c)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| rank_key(b.1).total_cmp(&rank_key(a.1)).then(a.0.cmp(&b.0)));
         let ranked: Vec<NodeId> = scored.into_iter().map(|(n, _)| n).collect();
 
         for (ki, &k) in KS.iter().enumerate() {
@@ -276,6 +282,57 @@ mod tests {
         // HitRate is monotone non-decreasing in K
         assert!(m.hitrate[0] <= m.hitrate[1] + 1e-9);
         assert!(m.hitrate[1] <= m.hitrate[2] + 1e-9);
+    }
+
+    /// A scorer that returns NaN for a slice of the pairs — the shape of a
+    /// half-diverged model export (overflowed distances, log of a negative
+    /// curvature term, ...).
+    struct NanScorer {
+        inner: RandomScorer,
+    }
+
+    impl PairScorer for NanScorer {
+        fn score_pair(&self, src: NodeId, dst: NodeId) -> f64 {
+            if dst.0.is_multiple_of(5) {
+                f64::NAN
+            } else {
+                self.inner.score_pair(src, dst)
+            }
+        }
+
+        fn scorer_name(&self) -> &str {
+            "NaN-injecting"
+        }
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_never_abort_the_evaluation() {
+        // regression: the candidate ranking sort used
+        // partial_cmp().unwrap() and panicked on the first NaN score,
+        // killing an entire experiment run
+        let d = tiny();
+        let nan = NanScorer {
+            inner: RandomScorer::new(9),
+        };
+        let m = evaluate_offline(&nan, &d, &tiny_eval());
+        assert!(m.next_auc.is_finite());
+        for v in m.q2i.hitrate.iter().chain(m.q2a.ndcg.iter()) {
+            assert!((0.0..=100.0).contains(v), "metric out of range: {v}");
+        }
+        // an all-NaN scorer is the degenerate floor: every metric finite,
+        // nothing panics, and AUC sits at the tie value
+        struct AllNan;
+        impl PairScorer for AllNan {
+            fn score_pair(&self, _: NodeId, _: NodeId) -> f64 {
+                f64::NAN
+            }
+            fn scorer_name(&self) -> &str {
+                "AllNaN"
+            }
+        }
+        let floor = evaluate_offline(&AllNan, &d, &tiny_eval());
+        assert!((floor.next_auc - 50.0).abs() < 1e-9, "all ties → AUC 0.5");
+        assert!(floor.q2i.hitrate[2].is_finite());
     }
 
     #[test]

@@ -12,23 +12,48 @@ use std::hash::Hash;
 
 /// Area under the ROC curve given scores of positive and negative examples.
 ///
-/// Computed by the rank-sum (Mann–Whitney) formulation; ties contribute ½.
-/// Returns 0.5 when either side is empty.
+/// Computed by the rank-sum (Mann–Whitney) formulation in O(n log n): one
+/// sort of the pooled scores, average ranks within tie groups (so every
+/// tied positive–negative pair contributes exactly ½), then
+/// `AUC = (R⁺ − P(P+1)/2) / (P·N)` where `R⁺` is the positive rank sum —
+/// equivalent pair by pair to the naive O(P·N) double loop with *exact*
+/// ties, without the quadratic blow-up on realistic evaluation sizes.
+/// Ties are bit-equality, the standard Mann–Whitney convention (an older
+/// revision counted scores within 1e-15 as tied; a pair separated only by
+/// float noise now resolves as a win/loss instead of ½). A NaN score is
+/// ranked alongside `-inf` — it can never beat a finite score — and
+/// returns 0.5 when either side is empty.
 pub fn auc(positive_scores: &[f64], negative_scores: &[f64]) -> f64 {
     if positive_scores.is_empty() || negative_scores.is_empty() {
         return 0.5;
     }
-    let mut wins = 0.0;
-    for &p in positive_scores {
-        for &n in negative_scores {
-            if p > n {
-                wins += 1.0;
-            } else if (p - n).abs() < 1e-15 {
-                wins += 0.5;
-            }
+    // NaN never outranks a real score: rank it with -inf (the tie-group
+    // average still hands a NaN-vs-(-inf) pair its ½, which is the most a
+    // score with no defined order can claim)
+    let rank_key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    let mut pooled: Vec<(f64, bool)> = positive_scores
+        .iter()
+        .map(|&s| (rank_key(s), true))
+        .chain(negative_scores.iter().map(|&s| (rank_key(s), false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut positive_rank_sum = 0.0;
+    let mut start = 0;
+    while start < pooled.len() {
+        let mut end = start + 1;
+        while end < pooled.len() && pooled[end].0 == pooled[start].0 {
+            end += 1;
         }
+        // 1-based ranks: the tie group spanning positions [start, end)
+        // holds ranks start+1 ..= end, averaging (start + 1 + end) / 2
+        let average_rank = (start + 1 + end) as f64 / 2.0;
+        let positives_in_group = pooled[start..end].iter().filter(|(_, pos)| *pos).count();
+        positive_rank_sum += positives_in_group as f64 * average_rank;
+        start = end;
     }
-    wins / (positive_scores.len() as f64 * negative_scores.len() as f64)
+    let p = positive_scores.len() as f64;
+    let n = negative_scores.len() as f64;
+    (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * n)
 }
 
 /// HitRate@K: the fraction of ground-truth entries that appear in the top-K
@@ -46,22 +71,27 @@ pub fn hitrate_at_k<T: Eq + Hash>(ranked: &[T], ground_truth: &[T], k: usize) ->
 /// nDCG@K with graded gains: the ground truth supplies a gain per id (the
 /// paper uses next-day click counts); the ranked list's DCG is normalised by
 /// the ideal DCG of the ground truth.  Reported in percent.
+///
+/// A NaN gain (a corrupt ground-truth count) is treated as gain 0 and
+/// ranks last in the ideal ordering — it can neither poison the DCG sum
+/// nor panic the ideal sort the way `partial_cmp().unwrap()` used to.
 pub fn ndcg_at_k<T: Eq + Hash + Copy>(ranked: &[T], gains: &[(T, f64)], k: usize) -> f64 {
     if gains.is_empty() {
         return 0.0;
     }
+    let sanitize = |g: f64| if g.is_nan() { 0.0 } else { g };
     let gain_of: HashMap<T, f64> = gains.iter().copied().collect();
     let dcg: f64 = ranked
         .iter()
         .take(k)
         .enumerate()
         .map(|(i, id)| {
-            let g = gain_of.get(id).copied().unwrap_or(0.0);
+            let g = sanitize(gain_of.get(id).copied().unwrap_or(0.0));
             g / ((i + 2) as f64).log2()
         })
         .sum();
-    let mut ideal: Vec<f64> = gains.iter().map(|(_, g)| *g).collect();
-    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut ideal: Vec<f64> = gains.iter().map(|(_, g)| sanitize(*g)).collect();
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let idcg: f64 = ideal
         .iter()
         .take(k)
@@ -109,6 +139,57 @@ mod tests {
     }
 
     #[test]
+    fn auc_matches_the_naive_pairwise_count_with_ties() {
+        // reference: the O(P·N) definition with exact ties counting ½
+        fn naive(pos: &[f64], neg: &[f64]) -> f64 {
+            let mut wins = 0.0;
+            for &p in pos {
+                for &n in neg {
+                    if p > n {
+                        wins += 1.0;
+                    } else if p == n {
+                        wins += 0.5;
+                    }
+                }
+            }
+            wins / (pos.len() as f64 * neg.len() as f64)
+        }
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            // xorshift*: deterministic scores over a small grid so ties
+            // across the positive/negative pools actually occur
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            ((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 60) % 8) as f64 / 4.0
+        };
+        for (np, nn) in [(1usize, 1usize), (3, 5), (17, 9), (40, 40)] {
+            let pos: Vec<f64> = (0..np).map(|_| next()).collect();
+            let neg: Vec<f64> = (0..nn).map(|_| next()).collect();
+            let fast = auc(&pos, &neg);
+            let slow = naive(&pos, &neg);
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "rank-sum {fast} vs naive {slow} for {np}x{nn}"
+            );
+        }
+    }
+
+    #[test]
+    fn auc_ranks_nan_scores_last_instead_of_panicking() {
+        // a NaN positive can never win: pos {NaN}, neg {0.0} → 0
+        assert_eq!(auc(&[f64::NAN], &[0.0]), 0.0);
+        // a NaN negative always loses: pos {0.0}, neg {NaN} → 1
+        assert_eq!(auc(&[0.0], &[f64::NAN]), 1.0);
+        // NaN against NaN is a tie group → ½
+        assert_eq!(auc(&[f64::NAN], &[f64::NAN]), 0.5);
+        // and one NaN in a realistic mix stays bounded
+        let a = auc(&[0.9, f64::NAN, 0.8], &[0.1, 0.2]);
+        assert!((0.0..=1.0).contains(&a));
+        assert!((a - 2.0 / 3.0).abs() < 1e-12, "got {a}");
+    }
+
+    #[test]
     fn hitrate_counts_recall_in_percent() {
         let ranked = vec![1, 2, 3, 4, 5];
         let truth = vec![2, 9];
@@ -128,6 +209,21 @@ mod tests {
         assert!(w < 100.0 && w > 0.0);
         // irrelevant items only → 0
         assert_eq!(ndcg_at_k(&[9u32, 8, 7], &gains, 3), 0.0);
+    }
+
+    #[test]
+    fn ndcg_treats_nan_gains_as_zero_instead_of_panicking() {
+        // the old `partial_cmp().unwrap()` ideal sort aborted an entire
+        // experiment run on one NaN gain; now NaN ranks last with gain 0
+        let gains = vec![(1u32, 3.0), (2, f64::NAN), (3, 1.0)];
+        let with_nan = ndcg_at_k(&[1u32, 3, 2], &gains, 3);
+        let without = ndcg_at_k(&[1u32, 3, 2], &[(1u32, 3.0), (2, 0.0), (3, 1.0)], 3);
+        assert!(with_nan.is_finite());
+        assert!((with_nan - without).abs() < 1e-9, "NaN gain must act as 0");
+        assert!((with_nan - 100.0).abs() < 1e-9, "1,3 is the ideal order");
+        // every gain NaN → idcg 0 → metric 0, still no panic
+        let all_nan = vec![(1u32, f64::NAN), (2, f64::NAN)];
+        assert_eq!(ndcg_at_k(&[1u32, 2], &all_nan, 2), 0.0);
     }
 
     #[test]

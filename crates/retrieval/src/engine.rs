@@ -73,8 +73,19 @@ pub enum CoverageSource {
     PreclickItems,
 }
 
+/// One physical serving assignment of a sharded deployment: which replica
+/// of which shard answered the fan-out gathers of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId {
+    /// Active shard index (shards emptied by the hash split are skipped
+    /// at build time and never appear here).
+    pub shard: u32,
+    /// Replica index within that shard's replica set.
+    pub replica: u32,
+}
+
 /// Per-request work and provenance counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RetrievalStats {
     /// First-layer keys used (raw query + raw pre-clicks + expansions).
     pub keys_expanded: usize,
@@ -83,6 +94,28 @@ pub struct RetrievalStats {
     /// Channel that covered the request (see [`CoverageSource`] for the
     /// exact attribution semantics).
     pub coverage: CoverageSource,
+    /// Physical fan-out route: for every active shard gathered during this
+    /// request, the serving replica that answered — one entry per shard,
+    /// in shard order. Empty on single-node engines. This is deployment
+    /// attribution, not logical work: resharding, replication and failover
+    /// all change the route while leaving every other field (and the
+    /// ranking) untouched, which is what [`RetrievalStats::logical`]
+    /// exists to compare.
+    pub served_by: Vec<ReplicaId>,
+}
+
+impl RetrievalStats {
+    /// The topology-invariant view of the stats: every field except the
+    /// physical `served_by` route. Two deployments of the same corpus —
+    /// any shard count, any replica count, any dead replicas short of a
+    /// whole shard — report identical logical stats for a request; the
+    /// parity and failover tests compare through this view.
+    pub fn logical(&self) -> RetrievalStats {
+        RetrievalStats {
+            served_by: Vec::new(),
+            ..self.clone()
+        }
+    }
 }
 
 /// A served request: ranked ads plus the stats behind them.
@@ -92,6 +125,17 @@ pub struct RetrievalResponse {
     pub ads: Vec<RetrievedAd>,
     /// Work and provenance counters for this request.
     pub stats: RetrievalStats,
+}
+
+impl RetrievalResponse {
+    /// The topology-invariant view of the response: identical ads, stats
+    /// reduced through [`RetrievalStats::logical`]. Pair with
+    /// [`crate::RetrievalError::logical`] to compare full served results
+    /// across deployment topologies.
+    pub fn logical(mut self) -> Self {
+        self.stats = self.stats.logical();
+        self
+    }
 }
 
 /// The object-safe serving interface every engine flavour implements:

@@ -32,6 +32,36 @@ pub enum RetrievalError {
         /// empty ad posting lists.
         stats: RetrievalStats,
     },
+    /// A sharded deployment lost *every* serving replica of one shard, so
+    /// the fan-out can no longer assemble the globally correct ranking.
+    /// Requests degrade to this typed error instead of panicking or
+    /// silently serving a corpus with a hole in it; as long as each shard
+    /// keeps at least one healthy replica, failover reroutes traffic and
+    /// this error never surfaces.
+    ShardUnavailable {
+        /// Index of the dead shard among the actively serving shards
+        /// (shards emptied by the hash split are skipped at build time).
+        shard: usize,
+        /// The shard's replica count — all of them are marked down.
+        replicas: usize,
+    },
+}
+
+impl RetrievalError {
+    /// The topology-invariant view of the error: carried stats are
+    /// reduced through [`RetrievalStats::logical`], other variants pass
+    /// through unchanged. Pair with
+    /// [`crate::RetrievalResponse::logical`] to compare full served
+    /// results across deployment topologies.
+    pub fn logical(self) -> Self {
+        match self {
+            RetrievalError::NoCoverage { query, stats } => RetrievalError::NoCoverage {
+                query,
+                stats: stats.logical(),
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for RetrievalError {
@@ -48,6 +78,12 @@ impl fmt::Display for RetrievalError {
                     f,
                     "no coverage for query {query}: {} keys expanded, {} postings scanned, no ad reached",
                     stats.keys_expanded, stats.postings_scanned
+                )
+            }
+            RetrievalError::ShardUnavailable { shard, replicas } => {
+                write!(
+                    f,
+                    "shard {shard} is unavailable: all {replicas} serving replicas are marked down"
                 )
             }
         }
@@ -71,5 +107,11 @@ mod tests {
         assert!(e.to_string().contains("top_k"));
         let e = RetrievalError::EmptyIndex { indices: "q2a+i2a" };
         assert!(e.to_string().contains("q2a+i2a"));
+        let e = RetrievalError::ShardUnavailable {
+            shard: 3,
+            replicas: 2,
+        };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("2 serving replicas"));
     }
 }

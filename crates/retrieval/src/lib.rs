@@ -15,10 +15,16 @@
 //!   scan-deduplicated batches with typed errors ([`RetrievalError`]) and
 //!   per-request [`RetrievalStats`],
 //! * [`ShardedEngine`] — the corpus hash-partitioned **by ad** across N
-//!   shards ([`shard::ad_shard`]); requests fan out to every shard and the
-//!   per-key candidate prefixes are merged back into *exactly* the ranking
-//!   a whole-corpus engine would return, so shard count is a pure
-//!   deployment knob,
+//!   shards ([`shard::ad_shard`]), each shard built concurrently on a
+//!   scoped [`WorkerPool`] and served by R replicas ([`ReplicatedShard`]:
+//!   round-robin with health marking and failover, degrading to the typed
+//!   [`RetrievalError::ShardUnavailable`] only when a shard loses every
+//!   replica); requests fan out to every shard — in parallel when
+//!   configured — and the per-key candidate prefixes are merged back into
+//!   *exactly* the ranking a whole-corpus engine would return, so shard
+//!   count, replica count and pool widths are pure deployment knobs
+//!   (every response records its physical route in
+//!   [`RetrievalStats::served_by`]),
 //! * [`EngineHandle`] — either of the above behind an atomically
 //!   swappable [`EngineSnapshot`]: [`EngineHandle::publish`] installs a
 //!   freshly rebuilt index with one pointer swap while worker threads
@@ -32,7 +38,7 @@
 //! measuring response time versus offered QPS, Fig. 9, over any
 //! [`Retrieve`] implementation).
 //!
-//! ## Serving with shards and zero-downtime updates
+//! ## Serving with shards, replicas and zero-downtime updates
 //!
 //! ```no_run
 //! use amcad_retrieval::{
@@ -41,19 +47,29 @@
 //! use amcad_mnn::IndexBackend;
 //! # fn index_inputs() -> amcad_retrieval::IndexBuildInputs { unimplemented!() }
 //!
-//! // build: ads hash-partitioned across 4 shards, keys replicated
+//! // build: ads hash-partitioned across 4 shards (built concurrently on
+//! // 4 threads), 2 serving replicas per shard, parallel request fan-out
 //! let sharded = ShardedEngine::builder()
 //!     .shards(4)
+//!     .replicas(2)
+//!     .build_threads(4)
+//!     .fanout_threads(2)
 //!     .backend(IndexBackend::Exact)
 //!     .top_k(20)
 //!     .retrieval(RetrievalConfig::default())
 //!     .build(&index_inputs())?;
 //!
 //! // serve: workers hold the handle, each request pins one snapshot
-//! let handle = EngineHandle::new(sharded);
+//! let handle = EngineHandle::new(sharded.clone());
 //! let response = handle.retrieve(&Request { query: 42, preclick_items: vec![7, 9] })?;
-//! println!("coverage: {:?}, postings scanned: {}",
-//!     response.stats.coverage, response.stats.postings_scanned);
+//! println!("coverage: {:?}, postings scanned: {}, route: {:?}",
+//!     response.stats.coverage, response.stats.postings_scanned,
+//!     response.stats.served_by);
+//!
+//! // availability: a lost replica reroutes traffic, rankings unchanged;
+//! // only a shard with zero replicas left degrades to a typed error
+//! sharded.fail_replica(0, 1);
+//! assert_eq!(sharded.shard(0).healthy_replicas(), 1);
 //!
 //! // update: rebuild offline, then swap — zero downtime
 //! let rebuilt = ShardedEngine::builder().shards(4).build(&index_inputs())?;
@@ -65,20 +81,22 @@
 pub mod engine;
 pub mod error;
 pub mod index_set;
+pub mod pool;
 pub mod retriever;
 pub mod serving;
 pub mod shard;
 pub mod snapshot;
 
 pub use engine::{
-    CoverageSource, Request, RetrievalEngine, RetrievalEngineBuilder, RetrievalResponse,
+    CoverageSource, ReplicaId, Request, RetrievalEngine, RetrievalEngineBuilder, RetrievalResponse,
     RetrievalStats, Retrieve,
 };
 pub use error::RetrievalError;
 pub use index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
+pub use pool::WorkerPool;
 pub use retriever::{RetrievalConfig, RetrievedAd, TwoLayerRetriever};
 pub use serving::{LoadReport, ServingConfig, ServingSimulator};
-pub use shard::{ad_shard, shard_inputs, ShardedEngine, ShardedEngineBuilder};
+pub use shard::{ad_shard, shard_inputs, ReplicatedShard, ShardedEngine, ShardedEngineBuilder};
 pub use snapshot::{EngineHandle, EngineSnapshot};
 
 /// Shared fixtures for this crate's test modules: one tiny deterministic

@@ -1,0 +1,173 @@
+//! A small scoped worker pool: run N independent jobs on T threads and
+//! collect their results **in job order**.
+//!
+//! Both cluster-shaped hot paths of this crate are embarrassingly parallel
+//! — every shard's index build is independent of its siblings, and every
+//! expanded key's fan-out gather is independent of the other keys — but
+//! they borrow local state (the shard inputs, the per-request key set), so
+//! a `'static` thread pool would force clones. [`WorkerPool`] instead
+//! spawns *scoped* threads per [`WorkerPool::run`] call (via the
+//! `crossbeam` scope, which delegates to `std::thread::scope`): workers
+//! claim job indices from a shared atomic counter and stash `(index,
+//! result)` pairs locally, and the results are re-assembled into index
+//! order afterwards. Work-stealing by index keeps long jobs from
+//! serialising behind a static partition, and the index-ordered
+//! re-assembly is what makes the parallel output **byte-identical** to the
+//! sequential loop — the property the sharded-engine tests pin for shard
+//! counts 1 / 2 / 4 / 7.
+//!
+//! With one thread (or at most one job) `run` executes inline on the
+//! caller's thread: no spawn, no synchronisation, exactly the sequential
+//! code path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reusable scoped worker pool (see the module docs). Holding one is
+/// free — threads are spawned per [`WorkerPool::run`] call and joined
+/// before it returns, so the pool itself is just the thread-count knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl Default for WorkerPool {
+    /// A sequential pool (one thread): parallelism is opt-in.
+    fn default() -> Self {
+        WorkerPool::new(1)
+    }
+}
+
+impl WorkerPool {
+    /// Create a pool that runs jobs on up to `threads` worker threads
+    /// (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine: `available_parallelism`, capped at
+    /// `cap` (use the job count to avoid idle workers).
+    pub fn sized_for(cap: usize) -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        WorkerPool::new(hw.min(cap.max(1)))
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `jobs` independent jobs — `f(0)`, `f(1)`, … `f(jobs - 1)` —
+    /// and return their results in job order, exactly as the sequential
+    /// `(0..jobs).map(f).collect()` would. Runs inline when the pool has
+    /// one thread or there is at most one job; a panicking job propagates
+    /// the panic to the caller either way.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || jobs <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(jobs);
+        let per_worker: Vec<Vec<(usize, T)>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        for (i, value) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "job {i} claimed twice");
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index is claimed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_come_back_in_job_order_for_any_thread_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.run(97, |i| i * 3 + 1), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_threads_are_harmless() {
+        assert_eq!(WorkerPool::new(0).threads(), 1, "thread count is clamped");
+        assert!(WorkerPool::new(4).run(0, |i| i).is_empty());
+        assert_eq!(WorkerPool::default().threads(), 1);
+        assert!(WorkerPool::sized_for(8).threads() >= 1);
+        assert_eq!(WorkerPool::sized_for(0).threads(), 1);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        let results = WorkerPool::new(3).run(50, |i| {
+            assert!(seen.lock().unwrap().insert(i), "job {i} ran twice");
+            i
+        });
+        assert_eq!(results.len(), 50);
+        assert_eq!(seen.lock().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn a_panicking_job_propagates_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            WorkerPool::new(2).run(8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "the pool must not swallow job panics");
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_workers() {
+        // the whole point of the scoped design: jobs borrow the caller's
+        // locals without cloning or 'static bounds
+        let inputs: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
+        let lens = WorkerPool::new(4).run(inputs.len(), |i| inputs[i].len());
+        assert_eq!(lens, inputs.iter().map(String::len).collect::<Vec<_>>());
+    }
+}

@@ -183,7 +183,12 @@ impl<'a> ServingSimulator<'a> {
                 let queue = &queue;
                 scope.spawn(move |_| {
                     for i in 0..total {
-                        let scheduled = interval * i as u32;
+                        // f64 multiply, not `interval * i as u32`: the cast
+                        // silently truncated the request index and the u32
+                        // multiply can panic on Duration overflow at low
+                        // QPS × many requests (a release-only abort, since
+                        // debug builds hit the cast first)
+                        let scheduled = interval.mul_f64(i as f64);
                         // open-loop: wait until the scheduled arrival time
                         let now = start.elapsed();
                         if scheduled > now {
@@ -384,6 +389,41 @@ mod tests {
         let v = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    /// Pins the percentile *convention*: nearest rank over the sorted
+    /// sample by `idx = round((n - 1) · p)`, 0-indexed, rounding half
+    /// away from zero. If the convention ever drifts (interpolation,
+    /// ceil-based nearest rank, 1-indexed ranks) these hand-computed
+    /// ladders catch it.
+    #[test]
+    fn percentile_follows_the_rounded_nearest_rank_convention() {
+        // 100-rung ladder 1..=100: idx = round(99 p)
+        let hundred: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&hundred, 0.50), 51.0); // round(49.5)  = 50
+        assert_eq!(percentile(&hundred, 0.90), 90.0); // round(89.1)  = 89
+        assert_eq!(percentile(&hundred, 0.99), 99.0); // round(98.01) = 98
+                                                      // 10-rung ladder 1..=10: idx = round(9 p)
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 0.50), 6.0); // round(4.5)  = 5
+        assert_eq!(percentile(&ten, 0.90), 9.0); // round(8.1)  = 8
+        assert_eq!(percentile(&ten, 0.99), 10.0); // round(8.91) = 9
+                                                  // 5-rung ladder with uneven gaps: values, not interpolations
+        let gaps = vec![1.0, 1.5, 2.0, 50.0, 1000.0];
+        assert_eq!(percentile(&gaps, 0.50), 2.0); // round(2.0) = 2
+        assert_eq!(percentile(&gaps, 0.90), 1000.0); // round(3.6) = 4
+        assert_eq!(percentile(&gaps, 0.99), 1000.0); // round(3.96) = 4
+    }
+
+    #[test]
+    fn open_loop_schedule_survives_large_request_indices_at_low_qps() {
+        // the old `interval * i as u32` panicked on Duration overflow once
+        // interval × index exceeded Duration::MAX (and silently truncated
+        // the index first); mul_f64 must keep the schedule monotone
+        let interval = Duration::from_secs_f64(1.0 / 0.001); // 1000 s apart
+        let far = interval.mul_f64(10_000_000.0);
+        assert!(far > interval.mul_f64(9_999_999.0));
+        assert_eq!(interval.mul_f64(0.0), Duration::ZERO);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Sharded serving: [`ShardedEngine`] partitions the ad corpus across N
-//! shards and merges per-shard results into the globally correct ranking.
+//! shards, builds and serves them **in parallel**, and keeps R serving
+//! replicas per shard so the cluster survives replica failures.
 //!
 //! The paper's production deployment (Fig. 9 / Table IX) spreads both the
 //! offline MNN index build and the online iGraph serving layer across a
@@ -9,6 +10,39 @@
 //! (so every shard builds identical first-layer key indices and expands a
 //! request to the same key set) but only its slice of the ads (so the
 //! expensive second-layer Q2A / I2A builds and scans are divided N ways).
+//!
+//! ## The cluster topology: build pool, fan-out pool, replica sets
+//!
+//! Three independent axes, three independent knobs on
+//! [`ShardedEngineBuilder`]:
+//!
+//! * **Parallel shard builds** ([`ShardedEngineBuilder::build_threads`],
+//!   default auto): every shard's index build depends only on that shard's
+//!   input slice, so [`ShardedEngineBuilder::build`] runs the per-shard
+//!   builds on a scoped [`WorkerPool`]. Results are re-assembled in shard
+//!   order, which makes the parallel build byte-identical to the
+//!   sequential loop — including which error is reported when several
+//!   shards fail.
+//! * **Parallel request fan-out** ([`ShardedEngineBuilder::fanout_threads`],
+//!   default 1): serving a request gathers, for every expanded key, each
+//!   shard's posting-list prefix. Those per-key gathers are independent,
+//!   so they run on the same pool type and are merged back in key order —
+//!   again byte-identical to the sequential path (the property test in
+//!   this module pins both axes for shard counts 1 / 2 / 4 / 7).
+//! * **Per-shard replication** ([`ShardedEngineBuilder::replicas`],
+//!   default 1): each shard is served by a [`ReplicatedShard`] — R
+//!   serving replicas behind round-robin selection with health marking.
+//!   A replica that surfaces an internal error at contact, or is
+//!   administratively killed through the
+//!   [`ShardedEngine::fail_replica`] hook, is marked down and skipped;
+//!   traffic fails over to its siblings. Only when a shard loses *all*
+//!   replicas does serving degrade to the typed
+//!   [`RetrievalError::ShardUnavailable`]. Every response records the
+//!   physical route taken in [`RetrievalStats::served_by`], so tests (and
+//!   operators) can prove failover actually rerouted traffic. In this
+//!   in-process model the replicas of one shard share the shard's
+//!   immutable index storage — what a real deployment copies per machine
+//!   — so replication is an availability knob, never a ranking change.
 //!
 //! ## Why the merge is exactly right, not approximately right
 //!
@@ -25,21 +59,25 @@
 //! Because posting lists are the k smallest `(distance, id)` pairs and
 //! shards partition the candidates, the merged prefix is bit-for-bit the
 //! prefix a whole-corpus index would have produced — parity holds for the
-//! ads, the scores, the stats and the coverage attribution alike (the
-//! property test in this module asserts all four).
+//! ads, the scores, the logical stats and the coverage attribution alike
+//! (the property tests in this module assert all four; only the physical
+//! [`RetrievalStats::served_by`] route reflects the topology).
 //!
 //! With the (deterministic) exact backend this parity is unconditional.
 //! With IVF it holds only under full probing: per-shard clustering is a
 //! different quantisation than whole-corpus clustering, so partial probes
 //! may recall different candidates per shard.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use crate::engine::{Request, RetrievalEngine, RetrievalResponse, RetrievalStats, Retrieve};
+use crate::engine::{
+    ReplicaId, Request, RetrievalEngine, RetrievalResponse, RetrievalStats, Retrieve,
+};
 use crate::error::RetrievalError;
 use crate::index_set::{IndexBuildConfig, IndexBuildInputs};
-use crate::retriever::{score_candidates, RetrievalConfig};
+use crate::pool::WorkerPool;
+use crate::retriever::{score_candidates, Key, RetrievalConfig};
 
 /// Batch-scope gather cache: `(is_item, key id)` → (index of the request
 /// that first gathered it, the merged whole-corpus candidate prefix).
@@ -85,10 +123,14 @@ pub fn shard_inputs(inputs: &IndexBuildInputs, shards: usize) -> Vec<IndexBuildI
 }
 
 /// Builder for [`ShardedEngine`] — the same knobs as
-/// [`crate::RetrievalEngineBuilder`] plus the shard count.
+/// [`crate::RetrievalEngineBuilder`] plus the cluster topology: shard
+/// count, replicas per shard, build-pool and fan-out-pool widths.
 #[derive(Debug, Clone)]
 pub struct ShardedEngineBuilder {
     shards: usize,
+    replicas: usize,
+    build_threads: usize,
+    fanout_threads: usize,
     index: IndexBuildConfig,
     retrieval: RetrievalConfig,
 }
@@ -97,6 +139,9 @@ impl Default for ShardedEngineBuilder {
     fn default() -> Self {
         ShardedEngineBuilder {
             shards: 1,
+            replicas: 1,
+            build_threads: 0, // auto: min(shards, available cores)
+            fanout_threads: 1,
             index: IndexBuildConfig::default(),
             retrieval: RetrievalConfig::default(),
         }
@@ -107,6 +152,31 @@ impl ShardedEngineBuilder {
     /// Number of shards the ad corpus is hash-partitioned into (default 1).
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Serving replicas per shard (default 1). Replicas of one shard serve
+    /// identical data; extra replicas buy availability — traffic fails
+    /// over round-robin when a replica is marked down — never a ranking
+    /// change.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Worker threads the per-shard index builds run on (default 0 =
+    /// auto: one per shard up to the machine's core count). The parallel
+    /// build is byte-identical to the sequential one at any width.
+    pub fn build_threads(mut self, build_threads: usize) -> Self {
+        self.build_threads = build_threads;
+        self
+    }
+
+    /// Worker threads each request's shard fan-out gathers run on
+    /// (default 1 = inline). Parallel fan-out is byte-identical to the
+    /// sequential gather at any width.
+    pub fn fanout_threads(mut self, fanout_threads: usize) -> Self {
+        self.fanout_threads = fanout_threads.max(1);
         self
     }
 
@@ -122,7 +192,10 @@ impl ShardedEngineBuilder {
         self
     }
 
-    /// Worker threads per shard build (default 4).
+    /// Worker threads per shard build (default 4). This is the *inner*
+    /// parallelism of one shard's index construction;
+    /// [`ShardedEngineBuilder::build_threads`] is how many shards build
+    /// concurrently.
     pub fn threads(mut self, threads: usize) -> Self {
         self.index.threads = threads;
         self
@@ -141,55 +214,234 @@ impl ShardedEngineBuilder {
     }
 
     /// Partition the inputs and build one [`RetrievalEngine`] per
-    /// non-empty shard. Shards that receive no ads are skipped (their
-    /// engines could never serve); if *every* shard is empty the build
-    /// fails with the same [`RetrievalError::EmptyIndex`] a single engine
-    /// over the whole inputs would report.
+    /// non-empty shard, running the independent per-shard builds on a
+    /// scoped [`WorkerPool`] ([`ShardedEngineBuilder::build_threads`]
+    /// wide). Results are re-assembled in shard order, so the parallel
+    /// build produces exactly what the sequential loop would — the same
+    /// engines *and* the same first error when a shard's build fails.
+    /// Shards that receive no ads are skipped (their engines could never
+    /// serve); if *every* shard is empty the build fails with the same
+    /// [`RetrievalError::EmptyIndex`] a single engine over the whole
+    /// inputs would report.
     pub fn build(self, inputs: &IndexBuildInputs) -> Result<ShardedEngine, RetrievalError> {
         if self.shards == 0 {
             return Err(RetrievalError::InvalidConfig(
                 "shard count must be positive".into(),
             ));
         }
+        if self.replicas == 0 {
+            return Err(RetrievalError::InvalidConfig(
+                "replica count must be positive".into(),
+            ));
+        }
+        let parts = shard_inputs(inputs, self.shards);
+        let build_pool = if self.build_threads == 0 {
+            WorkerPool::sized_for(self.shards)
+        } else {
+            WorkerPool::new(self.build_threads)
+        };
+        let index = self.index;
+        let retrieval = self.retrieval;
+        let built: Vec<Result<Option<RetrievalEngine>, RetrievalError>> =
+            build_pool.run(parts.len(), |s| {
+                let part = &parts[s];
+                if part.ads_qa.is_empty() && part.ads_ia.is_empty() {
+                    return Ok(None); // the hash left this shard adless — skip it
+                }
+                RetrievalEngine::builder()
+                    .index(index)
+                    .retrieval(retrieval)
+                    .build(part)
+                    .map(Some)
+            });
         let mut engines = Vec::with_capacity(self.shards);
-        for shard_inputs in shard_inputs(inputs, self.shards) {
-            if shard_inputs.ads_qa.is_empty() && shard_inputs.ads_ia.is_empty() {
-                continue; // the hash left this shard adless — skip it
+        // consume in shard order: the first error reported matches the
+        // sequential build's short-circuit exactly
+        for result in built {
+            if let Some(engine) = result? {
+                engines.push(engine);
             }
-            let engine = RetrievalEngine::builder()
-                .index(self.index)
-                .retrieval(self.retrieval)
-                .build(&shard_inputs)?;
-            engines.push(engine);
         }
         if engines.is_empty() {
             return Err(RetrievalError::EmptyIndex { indices: "q2a+i2a" });
         }
         Ok(ShardedEngine {
-            shards: engines,
+            shards: engines
+                .into_iter()
+                .map(|engine| ReplicatedShard::new(engine, self.replicas))
+                .collect(),
             num_shards: self.shards,
+            replicas: self.replicas,
             index_config: self.index,
             retrieval: self.retrieval,
+            fanout: WorkerPool::new(self.fanout_threads),
         })
     }
 }
 
-/// An ad corpus hash-partitioned across N single-node engines, served by
-/// fanning each request out to every shard and merging per-key candidate
-/// prefixes back into the globally correct ranking (see the module docs
-/// for why the merge is exact).
+/// State of one serving replica slot.
+#[derive(Debug)]
+struct ReplicaSlot {
+    /// Marked down: administratively killed, or observed erroring.
+    down: AtomicBool,
+    /// Test hook: the next contact surfaces an internal error.
+    poisoned: AtomicBool,
+    /// Requests this replica served (routing attribution).
+    serves: AtomicU64,
+}
+
+impl ReplicaSlot {
+    fn healthy() -> Self {
+        ReplicaSlot {
+            down: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            serves: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One shard's replica set: R serving replicas behind round-robin
+/// selection with health marking.
 ///
-/// The merged [`RetrievalStats`] describe the *logical* request — they are
-/// identical to what a single whole-corpus engine would report, which is
-/// what makes shard count a pure deployment knob. The raw cluster-wide
-/// work (each shard scans its own first layer) is `active_shards()` times
-/// the first-layer share of the counters.
+/// The replicas of a shard serve identical data — in this in-process
+/// model they share the shard's immutable index storage (a real
+/// deployment copies it per machine) — so which replica answers can never
+/// change a ranking. What the replica set adds is *availability*: a
+/// replica that errors at contact or is killed through
+/// [`ReplicatedShard::fail_replica`] is marked down and skipped, traffic
+/// fails over to its siblings, and only a shard with zero healthy
+/// replicas degrades serving to [`RetrievalError::ShardUnavailable`].
+#[derive(Debug)]
+pub struct ReplicatedShard {
+    engine: RetrievalEngine,
+    slots: Vec<ReplicaSlot>,
+    cursor: AtomicUsize,
+}
+
+impl Clone for ReplicatedShard {
+    /// Clones carry over the current health marking and serve counters.
+    fn clone(&self) -> Self {
+        ReplicatedShard {
+            engine: self.engine.clone(),
+            slots: self
+                .slots
+                .iter()
+                .map(|slot| ReplicaSlot {
+                    down: AtomicBool::new(slot.down.load(Ordering::Acquire)),
+                    poisoned: AtomicBool::new(slot.poisoned.load(Ordering::Acquire)),
+                    serves: AtomicU64::new(slot.serves.load(Ordering::Relaxed)),
+                })
+                .collect(),
+            cursor: AtomicUsize::new(self.cursor.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl ReplicatedShard {
+    fn new(engine: RetrievalEngine, replicas: usize) -> Self {
+        ReplicatedShard {
+            engine,
+            slots: (0..replicas).map(|_| ReplicaSlot::healthy()).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shard's engine (shared by all of its replicas).
+    pub fn engine(&self) -> &RetrievalEngine {
+        &self.engine
+    }
+
+    /// Configured replicas for this shard.
+    pub fn replica_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Replicas currently accepting traffic.
+    pub fn healthy_replicas(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| !slot.down.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Administratively kill replica `replica`: it stops receiving
+    /// traffic immediately; siblings absorb its share.
+    pub fn fail_replica(&self, replica: usize) {
+        self.slots[replica].down.store(true, Ordering::Release);
+    }
+
+    /// Bring replica `replica` back into rotation (clears both the down
+    /// marking and any injected fault).
+    pub fn restore_replica(&self, replica: usize) {
+        self.slots[replica].poisoned.store(false, Ordering::Release);
+        self.slots[replica].down.store(false, Ordering::Release);
+    }
+
+    /// Test hook: make replica `replica`'s next contact surface an
+    /// internal error. The router observes the error, marks the replica
+    /// down and fails over to a sibling within the same request.
+    pub fn poison_replica(&self, replica: usize) {
+        self.slots[replica].poisoned.store(true, Ordering::Release);
+    }
+
+    /// Requests served per replica since the engine was built — the
+    /// routing attribution that lets a test prove round-robin spread and
+    /// post-failure rerouting.
+    pub fn serve_counts(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|slot| slot.serves.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Pick the serving replica for one request: round-robin over healthy
+    /// replicas. A poisoned replica errors at first contact — it is
+    /// marked down and the pick fails over to the next healthy sibling.
+    /// `shard` is only for the error report.
+    fn pick(&self, shard: usize) -> Result<u32, RetrievalError> {
+        loop {
+            let n = self.slots.len();
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(replica) = (0..n)
+                .map(|k| (start + k) % n)
+                .find(|&r| !self.slots[r].down.load(Ordering::Acquire))
+            else {
+                return Err(RetrievalError::ShardUnavailable { shard, replicas: n });
+            };
+            if self.slots[replica].poisoned.swap(false, Ordering::AcqRel) {
+                // the contact surfaced an internal error: mark the replica
+                // down and retry — failover within the same request
+                self.slots[replica].down.store(true, Ordering::Release);
+                continue;
+            }
+            self.slots[replica].serves.fetch_add(1, Ordering::Relaxed);
+            return Ok(replica as u32);
+        }
+    }
+}
+
+/// An ad corpus hash-partitioned across N replicated single-node engines,
+/// served by fanning each request out to every shard (in parallel when
+/// configured) and merging per-key candidate prefixes back into the
+/// globally correct ranking (see the module docs for why the merge is
+/// exact and how replication fails over).
+///
+/// The merged [`RetrievalStats`] describe the *logical* request — they
+/// are identical to what a single whole-corpus engine would report, which
+/// is what makes shard count, replica count and pool widths pure
+/// deployment knobs. The one physical field is
+/// [`RetrievalStats::served_by`]: the replica route this request actually
+/// took, one entry per active shard. The raw cluster-wide work (each
+/// shard scans its own first layer) is `active_shards()` times the
+/// first-layer share of the counters.
 #[derive(Debug, Clone)]
 pub struct ShardedEngine {
-    shards: Vec<RetrievalEngine>,
+    shards: Vec<ReplicatedShard>,
     num_shards: usize,
+    replicas: usize,
     index_config: IndexBuildConfig,
     retrieval: RetrievalConfig,
+    fanout: WorkerPool,
 }
 
 impl ShardedEngine {
@@ -208,9 +460,52 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// The per-shard engines, in shard order (empty shards omitted).
-    pub fn shard_engines(&self) -> &[RetrievalEngine] {
-        &self.shards
+    /// Configured serving replicas per shard.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Threads each request's fan-out gathers run on (1 = inline).
+    pub fn fanout_threads(&self) -> usize {
+        self.fanout.threads()
+    }
+
+    /// One shard's replica set, by active-shard index.
+    pub fn shard(&self, shard: usize) -> &ReplicatedShard {
+        &self.shards[shard]
+    }
+
+    /// The per-shard engines, in active-shard order (empty shards
+    /// omitted; replicas of a shard share its engine).
+    pub fn shard_engines(&self) -> impl Iterator<Item = &RetrievalEngine> + '_ {
+        self.shards.iter().map(ReplicatedShard::engine)
+    }
+
+    /// Administratively kill one replica (active-shard index, replica
+    /// index) — the failover test hook. Traffic reroutes to the shard's
+    /// remaining replicas; rankings never change.
+    pub fn fail_replica(&self, shard: usize, replica: usize) {
+        self.shards[shard].fail_replica(replica);
+    }
+
+    /// Bring a killed (or poisoned) replica back into rotation.
+    pub fn restore_replica(&self, shard: usize, replica: usize) {
+        self.shards[shard].restore_replica(replica);
+    }
+
+    /// Test hook: the replica's next contact surfaces an internal error,
+    /// which marks it down and fails the request over to a sibling.
+    pub fn poison_replica(&self, shard: usize, replica: usize) {
+        self.shards[shard].poison_replica(replica);
+    }
+
+    /// Requests served per replica per active shard — routing
+    /// attribution for tests and operators.
+    pub fn replica_serves(&self) -> Vec<Vec<u64>> {
+        self.shards
+            .iter()
+            .map(ReplicatedShard::serve_counts)
+            .collect()
     }
 
     /// The index-construction configuration every shard was built with.
@@ -223,45 +518,66 @@ impl ShardedEngine {
         &self.retrieval
     }
 
+    /// Choose the serving replica of every active shard for one request
+    /// (round-robin with failover). `Err(ShardUnavailable)` when any
+    /// shard has no healthy replica left — checked before any serving
+    /// work, so a degraded cluster rejects requests instead of silently
+    /// serving a corpus with a hole in it.
+    fn route(&self) -> Result<Vec<ReplicaId>, RetrievalError> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                shard.pick(s).map(|replica| ReplicaId {
+                    shard: s as u32,
+                    replica,
+                })
+            })
+            .collect()
+    }
+
     /// The globally correct candidate prefix of one key: every shard's
     /// local prefix, merged in the index build's posting order (distance,
     /// then id — NaN distances were normalised to +inf at build time) and
     /// re-cut to the whole-corpus prefix length. A whole-corpus posting
     /// list is at most `top_k` long, so the global cut is
     /// `min(ads_per_key, top_k)`.
-    fn merged_candidates(&self, key: &crate::retriever::Key) -> Vec<(u32, f64)> {
+    fn merged_candidates(&self, key: &Key) -> Vec<(u32, f64)> {
         let per_key = self.retrieval.ads_per_key;
         let global_cut = per_key.min(self.index_config.top_k);
         let mut list: Vec<(u32, f64)> = Vec::new();
         for shard in &self.shards {
-            list.extend_from_slice(shard.retriever().key_candidates(key, per_key));
+            list.extend_from_slice(shard.engine().retriever().key_candidates(key, per_key));
         }
         list.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         list.truncate(global_cut);
         list
     }
 
-    /// Serve one request: expand keys once (first-layer indices are
-    /// replicated, so any shard's expansion is *the* expansion), gather
-    /// each shard's per-key candidate prefix, merge and re-cut to the
-    /// global prefix, then score through the shared path.
+    /// Serve one request: route to one healthy replica per shard (or fail
+    /// with [`RetrievalError::ShardUnavailable`]), expand keys once
+    /// (first-layer indices are replicated, so any shard's expansion is
+    /// *the* expansion), gather each key's merged whole-corpus candidate
+    /// prefix — on the fan-out pool when one is configured — then score
+    /// through the shared path. Scan counters are accumulated in key
+    /// order after the gather, so the parallel fan-out reports exactly
+    /// the sequential stats.
     pub fn retrieve(&self, request: &Request) -> Result<RetrievalResponse, RetrievalError> {
+        let route = self.route()?;
         let mut stats = RetrievalStats::default();
         let mut keys = Vec::new();
-        self.shards[0].retriever().expand_keys_into(
+        self.shards[0].engine().retriever().expand_keys_into(
             request.query,
             &request.preclick_items,
             &mut stats,
             &mut keys,
         );
-        let merged: Vec<Vec<(u32, f64)>> = keys
-            .iter()
-            .map(|key| {
-                let list = self.merged_candidates(key);
-                stats.postings_scanned += list.len();
-                list
-            })
-            .collect();
+        let merged: Vec<Vec<(u32, f64)>> = self
+            .fanout
+            .run(keys.len(), |i| self.merged_candidates(&keys[i]));
+        for list in &merged {
+            stats.postings_scanned += list.len();
+        }
         let candidates: Vec<&[(u32, f64)]> = merged.iter().map(Vec::as_slice).collect();
         let mut scratch = HashMap::new();
         let ads = score_candidates(
@@ -271,6 +587,7 @@ impl ShardedEngine {
             &mut scratch,
             &mut stats,
         );
+        stats.served_by = route;
         if ads.is_empty() {
             return Err(RetrievalError::NoCoverage {
                 query: request.query,
@@ -283,39 +600,62 @@ impl ShardedEngine {
     /// Serve a batch with the same cross-request scan dedup as
     /// [`RetrievalEngine::retrieve_batch`]: the merged candidate prefix of
     /// each distinct `(layer, key)` is gathered from the shards once per
-    /// batch, attributed to the first request that needed it. Rankings and
-    /// stats are identical to what the single-node batch path reports over
-    /// the whole corpus — batching semantics are topology-invariant.
+    /// batch — each request's *new* keys gathered on the fan-out pool —
+    /// and attributed to the first request that needed it. Rankings and
+    /// logical stats are identical to what the single-node batch path
+    /// reports over the whole corpus — batching semantics are
+    /// topology-invariant. Each request is routed (and can fail over)
+    /// independently, so one request hitting a dead shard yields its own
+    /// [`RetrievalError::ShardUnavailable`] without poisoning the batch.
     pub fn retrieve_batch(
         &self,
         requests: &[Request],
     ) -> Vec<Result<RetrievalResponse, RetrievalError>> {
         let mut fetched: MergedCache = HashMap::new();
-        let mut keys = Vec::new();
+        let mut keys: Vec<Key> = Vec::new();
+        let mut missing: Vec<Key> = Vec::new();
         let mut scratch = HashMap::new();
         let mut out = Vec::with_capacity(requests.len());
         for (r, request) in requests.iter().enumerate() {
+            let route = match self.route() {
+                Ok(route) => route,
+                Err(e) => {
+                    out.push(Err(e));
+                    continue;
+                }
+            };
             let mut stats = RetrievalStats::default();
-            self.shards[0].retriever().expand_keys_into(
+            self.shards[0].engine().retriever().expand_keys_into(
                 request.query,
                 &request.preclick_items,
                 &mut stats,
                 &mut keys,
             );
-            // gather pass: fill the cache and count scans (a repeat within
-            // the *same* request re-counts, mirroring the single path)
+            // gather pass: this request's not-yet-cached keys fan out on
+            // the pool, then land in the cache in key order
+            missing.clear();
             for key in &keys {
-                match fetched.entry((key.is_item, key.id)) {
-                    Entry::Occupied(e) => {
-                        if e.get().0 == r {
-                            stats.postings_scanned += e.get().1.len();
-                        }
-                    }
-                    Entry::Vacant(v) => {
-                        let list = self.merged_candidates(key);
-                        stats.postings_scanned += list.len();
-                        v.insert((r, list));
-                    }
+                let cached = fetched.contains_key(&(key.is_item, key.id));
+                let queued = missing
+                    .iter()
+                    .any(|m| m.is_item == key.is_item && m.id == key.id);
+                if !cached && !queued {
+                    missing.push(*key);
+                }
+            }
+            let gathered = self
+                .fanout
+                .run(missing.len(), |i| self.merged_candidates(&missing[i]));
+            for (key, list) in missing.iter().zip(gathered) {
+                fetched.insert((key.is_item, key.id), (r, list));
+            }
+            // count pass: scans of a key first gathered by this request
+            // are attributed here (a repeat within the *same* request
+            // re-counts, mirroring the single path)
+            for key in &keys {
+                let (first, list) = &fetched[&(key.is_item, key.id)];
+                if *first == r {
+                    stats.postings_scanned += list.len();
                 }
             }
             // score pass: borrow the now-stable cache entries
@@ -330,6 +670,7 @@ impl ShardedEngine {
                 &mut scratch,
                 &mut stats,
             );
+            stats.served_by = route;
             out.push(if ads.is_empty() {
                 Err(RetrievalError::NoCoverage {
                     query: request.query,
@@ -377,8 +718,30 @@ mod tests {
             .shards(shards)
             .top_k(top_k)
             .threads(1)
+            .build_threads(1)
             .build(inputs)
             .unwrap()
+    }
+
+    /// The topology-invariant view of a served result: the physical
+    /// `served_by` route is deployment attribution (single engines have
+    /// none, sharded engines one entry per shard), so parity between
+    /// topologies is asserted over everything else.
+    fn logical(
+        result: Result<RetrievalResponse, RetrievalError>,
+    ) -> Result<RetrievalResponse, RetrievalError> {
+        result
+            .map(RetrievalResponse::logical)
+            .map_err(RetrievalError::logical)
+    }
+
+    fn fixed_requests(n: u32) -> Vec<Request> {
+        (0..n)
+            .map(|q| Request {
+                query: q % 10,
+                preclick_items: vec![100 + (q % 10)],
+            })
+            .collect()
     }
 
     #[test]
@@ -422,9 +785,9 @@ mod tests {
         }
     }
 
-    /// The acceptance-criterion property: over random worlds and every
-    /// shard count in {1, 2, 4}, the sharded engine returns exactly the
-    /// single engine's response — ads, scores, stats and coverage — and
+    /// The topology-parity property: over random worlds and every shard
+    /// count in {1, 2, 4}, the sharded engine returns exactly the single
+    /// engine's response — ads, scores, logical stats and coverage — and
     /// exactly its errors.
     #[test]
     fn sharded_engine_matches_single_engine_for_any_inputs_and_shard_count() {
@@ -452,13 +815,76 @@ mod tests {
                             .map(|_| rng.gen_range(100..132u32))
                             .collect(),
                     };
-                    let a = single.retrieve(&request);
-                    let b = sharded.retrieve(&request);
+                    let a = logical(single.retrieve(&request));
+                    let b = logical(sharded.retrieve(&request));
                     assert_eq!(
                         a, b,
                         "parity failed: case {case}, {shards} shards, request {request:?}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The acceptance-criterion property for the worker pools: at shard
+    /// counts 1 / 2 / 4 / 7, an engine built and served with parallel
+    /// pools (several build threads, several fan-out threads, replicated
+    /// shards) is **byte-identical** to the engine built and served
+    /// sequentially — every response, every error, every stat including
+    /// the physical replica route (round-robin advances identically).
+    #[test]
+    fn parallel_build_and_fanout_match_the_sequential_path_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(0xfa0);
+        for case in 0..4u64 {
+            let n_ads = 5 + (case as u32 * 7);
+            let inputs = IndexBuildInputs {
+                queries_qq: random_points(0..10, 10 + case),
+                queries_qi: random_points(0..10, 20 + case),
+                items_qi: random_points(100..130, 30 + case),
+                queries_qa: random_points(0..10, 40 + case),
+                ads_qa: random_points(200..200 + n_ads, 50 + case),
+                items_ii: random_points(100..130, 60 + case),
+                items_ia: random_points(100..130, 70 + case),
+                ads_ia: random_points(200..200 + n_ads, 80 + case),
+            };
+            for shards in [1usize, 2, 4, 7] {
+                let build = |build_threads: usize, fanout_threads: usize| {
+                    ShardedEngine::builder()
+                        .shards(shards)
+                        .replicas(2)
+                        .top_k(8)
+                        .threads(1)
+                        .build_threads(build_threads)
+                        .fanout_threads(fanout_threads)
+                        .build(&inputs)
+                        .unwrap()
+                };
+                let sequential = build(1, 1);
+                let parallel = build(4, 4);
+                assert_eq!(sequential.active_shards(), parallel.active_shards());
+                // identical request sequences: single requests ...
+                for _ in 0..12 {
+                    let request = Request {
+                        query: rng.gen_range(0..12u32),
+                        preclick_items: (0..rng.gen_range(0..3usize))
+                            .map(|_| rng.gen_range(100..132u32))
+                            .collect(),
+                    };
+                    assert_eq!(
+                        sequential.retrieve(&request),
+                        parallel.retrieve(&request),
+                        "case {case}, {shards} shards: parallel serving diverged"
+                    );
+                }
+                // ... and a batch with repeats (exercises the shared cache)
+                let mut requests = fixed_requests(6);
+                requests.push(requests[0].clone());
+                requests.push(requests[3].clone());
+                assert_eq!(
+                    sequential.retrieve_batch(&requests),
+                    parallel.retrieve_batch(&requests),
+                    "case {case}, {shards} shards: parallel batch diverged"
+                );
             }
         }
     }
@@ -490,7 +916,10 @@ mod tests {
                 query: q,
                 preclick_items: vec![100 + q],
             };
-            assert_eq!(single.retrieve(&request), sharded.retrieve(&request));
+            assert_eq!(
+                logical(single.retrieve(&request)),
+                logical(sharded.retrieve(&request))
+            );
         }
     }
 
@@ -509,7 +938,16 @@ mod tests {
             sharded_err,
             RetrievalError::NoCoverage { query: 9999, .. }
         ));
-        assert_eq!(single_err, sharded_err, "stats in the error must match too");
+        // the error still records the route that failed to cover
+        let RetrievalError::NoCoverage { ref stats, .. } = sharded_err else {
+            unreachable!()
+        };
+        assert_eq!(stats.served_by.len(), sharded.active_shards());
+        assert_eq!(
+            logical(Err(single_err)),
+            logical(Err(sharded_err)),
+            "logical stats in the error must match too"
+        );
     }
 
     #[test]
@@ -527,12 +965,15 @@ mod tests {
                 query: q,
                 preclick_items: vec![100 + q],
             };
-            assert_eq!(single.retrieve(&request), sharded.retrieve(&request));
+            assert_eq!(
+                logical(single.retrieve(&request)),
+                logical(sharded.retrieve(&request))
+            );
         }
     }
 
     #[test]
-    fn adless_inputs_and_zero_shards_fail_like_the_single_builder() {
+    fn adless_inputs_and_zero_topology_knobs_fail_like_the_single_builder() {
         let manifold = tiny_inputs().ads_qa.manifold().clone();
         let empty = MixedPointSet::new(manifold);
         let mut no_ads = tiny_inputs();
@@ -552,15 +993,27 @@ mod tests {
                 .unwrap_err(),
             RetrievalError::InvalidConfig(_)
         ));
-        // invalid per-shard configuration surfaces through the same path
         assert!(matches!(
             ShardedEngine::builder()
                 .shards(2)
-                .top_k(0)
+                .replicas(0)
                 .build(&tiny_inputs())
                 .unwrap_err(),
             RetrievalError::InvalidConfig(_)
         ));
+        // invalid per-shard configuration surfaces through the same path,
+        // and the parallel build reports the same first error
+        for build_threads in [1usize, 4] {
+            assert!(matches!(
+                ShardedEngine::builder()
+                    .shards(2)
+                    .top_k(0)
+                    .build_threads(build_threads)
+                    .build(&tiny_inputs())
+                    .unwrap_err(),
+                RetrievalError::InvalidConfig(_)
+            ));
+        }
     }
 
     #[test]
@@ -581,13 +1034,170 @@ mod tests {
         requests.push(requests[0].clone());
         requests.push(requests[2].clone());
         let serving: &dyn Retrieve = &sharded;
-        let sharded_batch = serving.retrieve_batch(&requests);
-        let single_batch = single.retrieve_batch(&requests);
+        let sharded_batch: Vec<_> = serving
+            .retrieve_batch(&requests)
+            .into_iter()
+            .map(logical)
+            .collect();
+        let single_batch: Vec<_> = single
+            .retrieve_batch(&requests)
+            .into_iter()
+            .map(logical)
+            .collect();
         assert_eq!(sharded_batch, single_batch);
         // and the dedup really saved scans on the repeated requests
         let scans = |r: &Result<RetrievalResponse, RetrievalError>| {
             r.as_ref().unwrap().stats.postings_scanned
         };
         assert!(scans(&sharded_batch[6]) < scans(&sharded_batch[0]));
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_across_replicas() {
+        let engine = ShardedEngine::builder()
+            .shards(2)
+            .replicas(3)
+            .top_k(8)
+            .threads(1)
+            .build(&tiny_inputs())
+            .unwrap();
+        let requests = fixed_requests(12);
+        for (i, request) in requests.iter().enumerate() {
+            let response = engine.retrieve(request).unwrap();
+            assert_eq!(response.stats.served_by.len(), engine.active_shards());
+            for (s, id) in response.stats.served_by.iter().enumerate() {
+                assert_eq!(id.shard, s as u32, "route entries are in shard order");
+                assert_eq!(
+                    id.replica,
+                    (i % 3) as u32,
+                    "healthy round-robin rotates per request"
+                );
+            }
+        }
+        // attribution counters agree: 12 requests over 3 replicas = 4 each
+        for shard_counts in engine.replica_serves() {
+            assert_eq!(shard_counts, vec![4, 4, 4]);
+        }
+    }
+
+    /// The acceptance-criterion failover property: kill each replica in
+    /// turn — every served ranking, logical stat and coverage stays
+    /// identical to the healthy cluster, and the route proves the killed
+    /// replica received no traffic while its siblings absorbed it.
+    #[test]
+    fn killing_any_single_replica_never_changes_a_served_ranking() {
+        let engine = ShardedEngine::builder()
+            .shards(2)
+            .replicas(3)
+            .top_k(8)
+            .threads(1)
+            .build(&tiny_inputs())
+            .unwrap();
+        let requests = fixed_requests(9);
+        let healthy: Vec<_> = requests
+            .iter()
+            .map(|r| logical(engine.retrieve(r)))
+            .collect();
+        assert!(healthy.iter().all(Result::is_ok));
+        for shard in 0..engine.active_shards() {
+            for replica in 0..engine.replicas() {
+                engine.fail_replica(shard, replica);
+                assert_eq!(engine.shard(shard).healthy_replicas(), 2);
+                let before_serves = engine.replica_serves();
+                for (request, expected) in requests.iter().zip(&healthy) {
+                    let result = engine.retrieve(request);
+                    // the killed replica got no traffic; a sibling served
+                    let route = &result.as_ref().unwrap().stats.served_by;
+                    assert_eq!(route.len(), engine.active_shards());
+                    assert_ne!(
+                        route[shard].replica, replica as u32,
+                        "traffic must reroute away from the killed replica"
+                    );
+                    assert_eq!(&logical(result), expected, "failover changed a response");
+                }
+                let after_serves = engine.replica_serves();
+                assert_eq!(
+                    before_serves[shard][replica], after_serves[shard][replica],
+                    "a killed replica must serve nothing"
+                );
+                let rerouted: u64 = after_serves[shard].iter().sum::<u64>()
+                    - before_serves[shard].iter().sum::<u64>();
+                assert_eq!(
+                    rerouted,
+                    requests.len() as u64,
+                    "siblings must absorb the killed replica's share"
+                );
+                engine.restore_replica(shard, replica);
+                assert_eq!(engine.shard(shard).healthy_replicas(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn a_poisoned_replica_fails_over_on_first_contact_and_is_marked_down() {
+        let engine = ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .top_k(8)
+            .threads(1)
+            .build(&tiny_inputs())
+            .unwrap();
+        let request = Request {
+            query: 3,
+            preclick_items: vec![103],
+        };
+        let expected = logical(engine.retrieve(&request));
+        // fresh cursor position would pick replica 1 next on both shards;
+        // poison it on shard 0 — the internal error must surface as a
+        // transparent failover, not as a request failure
+        engine.poison_replica(0, 1);
+        let response = engine.retrieve(&request).unwrap();
+        assert_eq!(
+            response.stats.served_by[0].replica, 0,
+            "contacting the poisoned replica must fail over to its sibling"
+        );
+        assert_eq!(
+            engine.shard(0).healthy_replicas(),
+            1,
+            "the erroring replica is marked down"
+        );
+        assert_eq!(logical(Ok(response)), expected, "the ranking never changes");
+        // restore clears both the fault and the down marking
+        engine.restore_replica(0, 1);
+        assert_eq!(engine.shard(0).healthy_replicas(), 2);
+    }
+
+    #[test]
+    fn losing_every_replica_of_a_shard_is_a_typed_error_not_a_panic() {
+        let engine = ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .top_k(8)
+            .threads(1)
+            .build(&tiny_inputs())
+            .unwrap();
+        engine.fail_replica(1, 0);
+        engine.fail_replica(1, 1);
+        let requests = fixed_requests(3);
+        assert_eq!(
+            engine.retrieve(&requests[0]).unwrap_err(),
+            RetrievalError::ShardUnavailable {
+                shard: 1,
+                replicas: 2
+            }
+        );
+        // the batch path degrades per request, it does not panic either
+        for result in engine.retrieve_batch(&requests) {
+            assert_eq!(
+                result.unwrap_err(),
+                RetrievalError::ShardUnavailable {
+                    shard: 1,
+                    replicas: 2
+                }
+            );
+        }
+        // one restored replica brings the whole cluster back
+        engine.restore_replica(1, 0);
+        assert!(engine.retrieve(&requests[0]).is_ok());
     }
 }

@@ -5,9 +5,12 @@
 //! This exercises the production-facing half of the system (Section IV-C of
 //! the paper): MNN index construction behind the pluggable `AnnIndex`
 //! backend seam, the Q2Q/Q2I/I2Q/I2I first layer, the Q2A/I2A second
-//! layer, ad-hash sharding with an exact merge, batched serving workers,
-//! and an open-loop load test like Fig. 9 — every topology served through
-//! the same `&dyn Retrieve` the transport layer would hold.
+//! layer, ad-hash sharding with an exact merge (shards built concurrently
+//! on the scoped worker pool, fanned out in parallel at serving time),
+//! per-shard replication with round-robin failover, batched serving
+//! workers, and an open-loop load test like Fig. 9 — every topology
+//! served through the same `&dyn Retrieve` the transport layer would
+//! hold.
 //!
 //! ```bash
 //! cargo run --release --example online_serving
@@ -96,11 +99,22 @@ fn main() {
         .map(|shards| {
             ShardedEngine::builder()
                 .shards(shards)
+                .build_threads(shards) // independent per-shard builds run concurrently
                 .index(*result.engine.index_config())
                 .build(&inputs)
                 .expect("pipeline inputs build a valid sharded engine")
         })
         .collect();
+    // the replicated deployment: 2 serving replicas per shard, requests
+    // fanned out on a 2-thread pool — availability and fan-out knobs only,
+    // rankings stay bit-identical to the single exact engine
+    let replicated = ShardedEngine::builder()
+        .shards(2)
+        .replicas(2)
+        .fanout_threads(2)
+        .index(*result.engine.index_config())
+        .build(&inputs)
+        .expect("pipeline inputs build a valid replicated engine");
     let topologies: Vec<(String, &dyn Retrieve)> = vec![
         (
             format!("{} x1", result.engine.backend().label()),
@@ -114,6 +128,14 @@ fn main() {
         (
             format!("exact x{} shards", sharded[1].num_shards()),
             &sharded[1],
+        ),
+        (
+            format!(
+                "exact x{} shards x{} replicas",
+                replicated.num_shards(),
+                replicated.replicas()
+            ),
+            &replicated,
         ),
     ];
     for (label, engine) in topologies {
@@ -146,5 +168,33 @@ fn main() {
     }
     println!("Sharded topologies return bit-identical rankings to the single exact engine;");
     println!("the per-request fan-out trades a little latency for an N-way split of the");
-    println!("ad-side index build and memory (see table9_scalability for the build times).");
+    println!("ad-side index build and memory (see table9_scalability for the build times).\n");
+
+    // Failover: kill one replica of shard 0 — traffic reroutes to its
+    // sibling with the ranking untouched; kill the sibling too and the
+    // shard degrades to a *typed* error instead of serving a corpus with
+    // a hole in it.
+    let probe = requests
+        .iter()
+        .find(|r| replicated.retrieve(r).is_ok())
+        .cloned()
+        .expect("eval sessions cover at least one request");
+    let healthy = replicated.retrieve(&probe).unwrap();
+    replicated.fail_replica(0, 0);
+    let failed_over = replicated.retrieve(&probe).unwrap();
+    assert_eq!(healthy.ads, failed_over.ads);
+    println!(
+        "failover demo: killed replica 0 of shard 0; route {:?} -> {:?}, ads unchanged",
+        healthy.stats.served_by, failed_over.stats.served_by
+    );
+    replicated.fail_replica(0, 1);
+    match replicated.retrieve(&probe) {
+        Err(e) => println!("both replicas of shard 0 down -> typed degradation: {e}"),
+        Ok(_) => unreachable!("a shard with zero replicas cannot serve"),
+    }
+    replicated.restore_replica(0, 0);
+    println!(
+        "one replica restored -> serving again: {}",
+        replicated.retrieve(&probe).is_ok()
+    );
 }

@@ -44,8 +44,9 @@
 //! ## The serving triad: `Retrieve`, `ShardedEngine`, `EngineHandle`
 //!
 //! Production callers program against the object-safe
-//! [`retrieval::Retrieve`] trait; the deployment topology behind it is a
-//! pure configuration choice:
+//! [`retrieval::Retrieve`] trait; the deployment topology behind it —
+//! shard count, replicas per shard, build-pool and fan-out-pool widths —
+//! is a pure configuration choice that never changes a ranking:
 //!
 //! ```no_run
 //! use amcad::core::{build_index_inputs, Pipeline, PipelineConfig};
@@ -65,16 +66,34 @@
 //!     .build(&inputs)?;
 //! assert_eq!(exact.indexes().total_keys(), ivf.indexes().total_keys());
 //!
-//! // ... or the ad corpus hash-partitioned across 4 shards, with
-//! // fan-out serving that returns bit-identical rankings
-//! let sharded = ShardedEngine::builder().shards(4).build(&inputs)?;
+//! // ... or the paper's cluster shape: ads hash-partitioned across 4
+//! // shards (each shard's index built concurrently on a scoped worker
+//! // pool), 2 serving replicas per shard with round-robin failover, and
+//! // the per-request fan-out gathered in parallel — all returning
+//! // bit-identical rankings to the single exact engine
+//! let sharded = ShardedEngine::builder()
+//!     .shards(4)
+//!     .replicas(2)
+//!     .build_threads(4)
+//!     .fanout_threads(2)
+//!     .build(&inputs)?;
+//!
+//! // availability: a killed (or erroring) replica reroutes traffic to
+//! // its siblings — every response records the route it took — and only
+//! // a shard with zero healthy replicas degrades to a typed error
+//! sharded.fail_replica(0, 1);
+//! let response = sharded.retrieve(&amcad::retrieval::Request {
+//!     query: 7,
+//!     preclick_items: vec![],
+//! })?;
+//! println!("served by {:?}", response.stats.served_by);
 //!
 //! // live serving sits behind a hot-swappable handle: rebuild offline,
 //! // publish with one snapshot swap, zero downtime
 //! let handle = EngineHandle::new(sharded);
 //! let serving: &dyn Retrieve = &handle;
 //! # let _ = serving;
-//! let rebuilt = ShardedEngine::builder().shards(4).build(&inputs)?;
+//! let rebuilt = ShardedEngine::builder().shards(4).replicas(2).build(&inputs)?;
 //! let generation = handle.publish(rebuilt);
 //! assert_eq!(handle.generation(), generation);
 //! # Ok::<(), amcad::retrieval::RetrievalError>(())

@@ -8,10 +8,24 @@ use amcad::core::{
 use amcad::datagen::{Dataset, WorldConfig};
 use amcad::graph::{NodeId, NodeType};
 use amcad::model::{PairScorer, RelationKind, SgnsConfig, SgnsModel, WalkStrategy};
-use amcad::retrieval::{EngineHandle, Request, Retrieve, ShardedEngine};
+use amcad::retrieval::{
+    EngineHandle, Request, RetrievalError, RetrievalResponse, Retrieve, ShardedEngine,
+};
 
 fn pipeline_result() -> amcad::core::PipelineResult {
     Pipeline::new(PipelineConfig::small(2024)).run()
+}
+
+/// The topology-invariant view of a served result: the physical
+/// `served_by` replica route is deployment attribution (single engines
+/// report none, sharded engines one entry per shard), so cross-topology
+/// parity is asserted over everything else.
+fn logical(
+    result: Result<RetrievalResponse, RetrievalError>,
+) -> Result<RetrievalResponse, RetrievalError> {
+    result
+        .map(RetrievalResponse::logical)
+        .map_err(RetrievalError::logical)
 }
 
 #[test]
@@ -159,17 +173,23 @@ fn sharded_serving_and_hot_swap_agree_with_the_monolithic_engine_end_to_end() {
     for shards in [2usize, 4] {
         let sharded = ShardedEngine::builder()
             .shards(shards)
+            .replicas(2)
+            .fanout_threads(2)
             .index(*result.engine.index_config())
             .build(&inputs)
             .expect("pipeline inputs build a valid sharded engine");
         let generation = handle.publish(sharded.clone());
         assert_eq!(handle.generation(), generation);
         for request in &requests {
-            let single = result.engine.retrieve(request);
-            assert_eq!(single, sharded.retrieve(request), "{shards}-shard parity");
+            let single = logical(result.engine.retrieve(request));
             assert_eq!(
                 single,
-                handle.retrieve(request),
+                logical(sharded.retrieve(request)),
+                "{shards}-shard parity"
+            );
+            assert_eq!(
+                single,
+                logical(handle.retrieve(request)),
                 "handle serves the published build"
             );
         }
@@ -177,11 +197,83 @@ fn sharded_serving_and_hot_swap_agree_with_the_monolithic_engine_end_to_end() {
         // sharded batch must equal the single-node batch exactly (same
         // rankings, same deduplicated scan attribution)
         let serving: &dyn Retrieve = &handle;
-        assert_eq!(
-            serving.retrieve_batch(&requests),
-            result.engine.retrieve_batch(&requests)
-        );
+        let sharded_batch: Vec<_> = serving
+            .retrieve_batch(&requests)
+            .into_iter()
+            .map(logical)
+            .collect();
+        let single_batch: Vec<_> = result
+            .engine
+            .retrieve_batch(&requests)
+            .into_iter()
+            .map(logical)
+            .collect();
+        assert_eq!(sharded_batch, single_batch);
     }
+}
+
+#[test]
+fn replica_failover_preserves_every_ranking_over_real_pipeline_output() {
+    // The availability half of the cluster story, end to end: a replicated
+    // sharded deployment over real pipeline output keeps serving identical
+    // rankings while replicas die one by one, and degrades to the typed
+    // ShardUnavailable — never a panic — only when a shard loses its last
+    // replica.
+    let result = pipeline_result();
+    let inputs = build_index_inputs(&result.export, &result.dataset);
+    let sharded = ShardedEngine::builder()
+        .shards(2)
+        .replicas(2)
+        .index(*result.engine.index_config())
+        .build(&inputs)
+        .expect("pipeline inputs build a valid replicated engine");
+    let requests: Vec<Request> = result
+        .dataset
+        .eval_sessions
+        .iter()
+        .take(20)
+        .map(|s| Request {
+            query: s.query.0,
+            preclick_items: result
+                .dataset
+                .preclick_items(s)
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        })
+        .collect();
+    let healthy: Vec<_> = requests
+        .iter()
+        .map(|r| logical(sharded.retrieve(r)))
+        .collect();
+    for shard in 0..sharded.active_shards() {
+        for replica in 0..sharded.replicas() {
+            sharded.fail_replica(shard, replica);
+            for (request, expected) in requests.iter().zip(&healthy) {
+                let served = sharded.retrieve(request);
+                if let Ok(response) = &served {
+                    assert_ne!(
+                        response.stats.served_by[shard].replica, replica as u32,
+                        "traffic must reroute away from the killed replica"
+                    );
+                }
+                assert_eq!(&logical(served), expected, "failover changed a response");
+            }
+            sharded.restore_replica(shard, replica);
+        }
+    }
+    // shard 0 loses both replicas: typed degradation, then full recovery
+    sharded.fail_replica(0, 0);
+    sharded.fail_replica(0, 1);
+    assert!(matches!(
+        sharded.retrieve(&requests[0]),
+        Err(RetrievalError::ShardUnavailable {
+            shard: 0,
+            replicas: 2
+        })
+    ));
+    sharded.restore_replica(0, 0);
+    assert_eq!(logical(sharded.retrieve(&requests[0])), healthy[0]);
 }
 
 #[test]
