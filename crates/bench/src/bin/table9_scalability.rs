@@ -20,7 +20,10 @@
 //! wall clock without changing a single byte of the result), and each
 //! serving topology (shards × replicas × fan-out threads) is load-tested
 //! through the serving simulator with its p50 / p95 / p99 tail — the
-//! Table IX ⇄ Fig. 9 bridge.
+//! Table IX ⇄ Fig. 9 bridge. A final sweep measures the incremental path:
+//! a ~10% corpus churn applied as a delta publish
+//! (`EngineHandle::publish_delta`) versus rebuilding the post-delta
+//! corpus from scratch, at shard counts 1 / 2 / 4.
 
 use std::time::Instant;
 
@@ -31,8 +34,8 @@ use amcad_eval::TextTable;
 use amcad_mnn::{IndexBackend, IvfConfig};
 use amcad_model::{AmcadConfig, AmcadModel, Trainer, TrainerConfig};
 use amcad_retrieval::{
-    IndexBuildConfig, IndexBuildInputs, IndexSet, Request, ServingConfig, ServingSimulator,
-    ShardedEngine,
+    EngineHandle, IndexBuildConfig, IndexBuildInputs, IndexDelta, IndexSet, Request, ServingConfig,
+    ServingSimulator, ShardedDeltaBuilder, ShardedEngine,
 };
 
 fn main() {
@@ -96,7 +99,7 @@ fn main() {
                 backend,
             };
             let start = Instant::now();
-            let set = IndexSet::build(&inputs, config);
+            let set = IndexSet::build(&inputs, config).expect("ladder inputs are duplicate-free");
             let secs = start.elapsed().as_secs_f64();
             assert!(set.total_keys() > 0);
             secs
@@ -240,6 +243,80 @@ fn main() {
     println!("grows with shard count while each shard's ad-side build (the part the paper");
     println!("distributes) shrinks; rankings are bit-identical at every shard count, replica");
     println!("count and pool width — replication buys failover, never a ranking change.\n");
+
+    // -- Delta publish vs full rebuild (largest rung) ---------------------
+    // The paper's corpus churns daily while queries keep flowing; a delta
+    // publish updates only the ad-side postings the churn touches instead
+    // of re-running the whole O(keys × ads) neighbour build. Rankings are
+    // property-tested bit-identical to the full rebuild, so the wall
+    // clock below is the entire trade.
+    println!("== Delta publish vs full rebuild (largest rung, ~10% daily churn) ==\n");
+    let ad_ids: Vec<u32> = inputs.ads_qa.ids().to_vec();
+    let churn = (ad_ids.len() / 20).max(1);
+    // generation 1 serves the corpus minus a 5% hold-out; the delta adds
+    // the hold-out back and retires 5% of the generation-1 ads
+    let held_out: Vec<u32> = ad_ids.iter().rev().take(churn).copied().collect();
+    let retired: Vec<u32> = ad_ids.iter().take(churn).copied().collect();
+    let mut gen1_inputs = inputs.clone();
+    gen1_inputs.ads_qa.retire(|id| held_out.contains(&id));
+    gen1_inputs.ads_ia.retire(|id| held_out.contains(&id));
+    let delta = IndexDelta {
+        added_ads_qa: inputs.ads_qa.filtered(|id| held_out.contains(&id)),
+        added_ads_ia: inputs.ads_ia.filtered(|id| held_out.contains(&id)),
+        retired_ads: retired,
+    };
+    let mut delta_table = TextTable::new(vec![
+        "Shards",
+        "Corpus (ads)",
+        "Churn (ads)",
+        "Delta publish (s)",
+        "Full rebuild (s)",
+        "Speedup",
+    ]);
+    for shards in [1usize, 2, 4] {
+        let topology = || {
+            ShardedEngine::builder()
+                .shards(shards)
+                .top_k(20)
+                .threads(1)
+                .build_threads(1)
+        };
+        let mut builder = ShardedDeltaBuilder::new(&gen1_inputs, topology())
+            .expect("ladder inputs always seed a valid delta builder");
+        let handle = EngineHandle::new(builder.engine().expect("generation 1 serves"));
+        let start = Instant::now();
+        let generation = handle
+            .publish_delta(&mut builder, &delta)
+            .expect("the churn delta is valid");
+        let delta_secs = start.elapsed().as_secs_f64();
+        assert_eq!(generation, 2, "the delta publish bumps the generation");
+        // the same post-delta corpus, rebuilt from scratch
+        let mut post = gen1_inputs.clone();
+        delta.apply_to(&mut post);
+        let start = Instant::now();
+        let rebuilt = topology()
+            .build(&post)
+            .expect("the post-delta corpus rebuilds");
+        let full_secs = start.elapsed().as_secs_f64();
+        assert!(rebuilt.active_shards() > 0);
+        assert!(
+            delta_secs < full_secs,
+            "the delta publish ({delta_secs:.3}s) must beat the full rebuild ({full_secs:.3}s)"
+        );
+        delta_table.row(vec![
+            shards.to_string(),
+            post.ads_qa.len().to_string(),
+            (churn * 2).to_string(),
+            format!("{delta_secs:.3}"),
+            format!("{full_secs:.3}"),
+            format!("{:.1}x", full_secs / delta_secs.max(1e-9)),
+        ]);
+    }
+    println!("{}", delta_table.render());
+    println!("Delta note: the publish touches only the shards the churned ads hash to —");
+    println!("untouched shards keep their Arc'd indices pointer-identical across the");
+    println!("generation swap — and delta-built rankings equal a from-scratch rebuild");
+    println!("of the post-delta corpus exactly (property-tested at shards 1/2/4).\n");
 
     println!("Paper (Table IX): 0.5h → 6.2h → 17.3h → 35h for 0.18B → 5.3B → 16.1B → 30.8B edges.");
     println!("Shape to check: training runtime grows close to linearly with the number of edges /");

@@ -41,6 +41,21 @@ pub trait AnnIndex: Send + Sync {
         exclude_id: Option<u32>,
     ) -> Postings;
 
+    /// Incrementally index additional candidates in place — the seam for
+    /// long-lived indices over a streaming corpus. Returns `true` when
+    /// the backend applied the insert; the default returns `false`,
+    /// telling the caller the backend has no incremental path and a
+    /// rebuild is required. Implementations must make inserted candidates
+    /// immediately visible to [`AnnIndex::search`]. Note that the
+    /// serving-side delta publishes materialise posting lists instead
+    /// (bulk `build_index` over just the added candidates), so today this
+    /// seam serves resident-index use cases and future online backends,
+    /// not `EngineHandle::publish_delta`.
+    fn insert(&mut self, added: &MixedPointSet) -> bool {
+        let _ = added;
+        false
+    }
+
     /// Build the full inverted index for a key set: one posting list per
     /// key. The default implementation searches key by key through the
     /// shared per-key loop; backends with a faster bulk path (e.g. the
@@ -86,6 +101,13 @@ impl AnnIndex for ExactBackend {
 
     fn len(&self) -> usize {
         self.candidates.len()
+    }
+
+    /// The exact scan inserts by appending: every new candidate joins the
+    /// flat buffers and is scanned like any other.
+    fn insert(&mut self, added: &MixedPointSet) -> bool {
+        self.candidates.append(added);
+        true
     }
 
     fn search(
@@ -134,6 +156,14 @@ impl AnnIndex for IvfBackend {
 
     fn len(&self) -> usize {
         self.index.len()
+    }
+
+    /// IVF inserts by assigning each new candidate to its nearest
+    /// existing centroid — the coarse quantisation stays fixed (see
+    /// [`IvfIndex::insert`]).
+    fn insert(&mut self, added: &MixedPointSet) -> bool {
+        self.index.insert(added);
+        true
     }
 
     fn search(
@@ -273,6 +303,52 @@ mod tests {
             for (key, postings) in direct.iter() {
                 assert_eq!(postings, via_trait.get(*key).unwrap());
             }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_a_rebuild_over_the_union() {
+        // split one candidate set (same seed → identical prefixes) into a
+        // base and an increment, insert through the trait seam, and the
+        // result must be indistinguishable from indexing the union
+        let union = random_set(60, 20);
+        let base = union.filtered(|id| id < 40);
+        let mut increment = MixedPointSet::new(union.manifold().clone());
+        for i in 40..union.len() {
+            increment.push(union.id(i), union.point(i), union.weight(i));
+        }
+        let keys = random_set(15, 21);
+
+        let mut exact: Box<dyn AnnIndex> = IndexBackend::Exact.instantiate(base.clone(), 2);
+        assert!(exact.insert(&increment), "the exact scan supports inserts");
+        assert_eq!(exact.len(), union.len());
+        let rebuilt = IndexBackend::Exact.instantiate(union.clone(), 2);
+        for i in 0..keys.len() {
+            assert_eq!(
+                exact.search(keys.point(i), keys.weight(i), 6, None),
+                rebuilt.search(keys.point(i), keys.weight(i), 6, None),
+                "inserted candidates must be scanned exactly like rebuilt ones"
+            );
+        }
+
+        // IVF under full probing: streaming insert is exact too
+        let full_probe = IndexBackend::Ivf(IvfConfig {
+            num_clusters: 5,
+            kmeans_iters: 4,
+            nprobe: 5,
+            seed: 8,
+        });
+        let mut ivf = full_probe.instantiate(base, 1);
+        assert!(ivf.insert(&increment));
+        assert_eq!(ivf.len(), union.len());
+        for i in 0..keys.len() {
+            let got = ivf.search(keys.point(i), keys.weight(i), 6, None);
+            let want = rebuilt.search(keys.point(i), keys.weight(i), 6, None);
+            assert_eq!(
+                got.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                want.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                "full-probe IVF inserts must recall exactly"
+            );
         }
     }
 

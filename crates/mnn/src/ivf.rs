@@ -122,6 +122,47 @@ impl IvfIndex {
         }
     }
 
+    /// Incrementally index additional candidates without re-running
+    /// k-means: each new point is log-mapped into the tangent space and
+    /// assigned to its nearest *existing* centroid (an index built over an
+    /// empty set seeds its first centroid from the first insert). This is
+    /// the streaming-update path delta publishes use — the coarse
+    /// quantisation stays fixed, so search quality degrades gracefully as
+    /// the corpus drifts from the clustered distribution; rebuild when the
+    /// drift grows large.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manifolds differ.
+    pub fn insert(&mut self, added: &MixedPointSet) {
+        assert_eq!(
+            self.candidates.manifold(),
+            added.manifold(),
+            "inserted points must live on the indexed manifold"
+        );
+        for i in 0..added.len() {
+            let tangent = self.candidates.manifold().log0(added.point(i));
+            if self.centroids.is_empty() {
+                self.centroids.push(tangent.clone());
+                self.clusters.push(Vec::new());
+            }
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in self.centroids.iter().enumerate() {
+                let d = sq_dist(&tangent, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            let slot = self.candidates.len();
+            self.candidates
+                .push(added.id(i), added.point(i), added.weight(i));
+            self.tangents.push(tangent);
+            self.clusters[best].push(slot);
+        }
+    }
+
     /// Number of indexed candidates.
     pub fn len(&self) -> usize {
         self.candidates.len()
@@ -314,6 +355,53 @@ mod tests {
         let empty = InvertedIndex::default();
         assert_eq!(recall_at_k(&empty, &exact, 5), 0.0);
         assert_eq!(recall_at_k(&exact, &empty, 5), 0.0);
+    }
+
+    #[test]
+    fn inserted_candidates_are_searchable_and_clusters_still_partition() {
+        let base = random_set(50, 11);
+        let extra_full = random_set(62, 11); // same seed: first 50 identical
+        let extra = {
+            let mut e = crate::points::MixedPointSet::new(base.manifold().clone());
+            for i in 50..extra_full.len() {
+                e.push(extra_full.id(i), extra_full.point(i), extra_full.weight(i));
+            }
+            e
+        };
+        let config = IvfConfig {
+            num_clusters: 6,
+            kmeans_iters: 5,
+            nprobe: 6, // full probing: insert must be exactly searchable
+            seed: 2,
+        };
+        let mut ivf = IvfIndex::build(base, config);
+        ivf.insert(&extra);
+        assert_eq!(ivf.len(), 62);
+        let total: usize = ivf.clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 62, "clusters must still partition the candidates");
+        // under full probing the streaming insert is exact: every search
+        // matches a brute-force scan over the union
+        let keys = random_set(12, 12);
+        let exact = build_exact_index(&keys, &extra_full, 5, false, 1);
+        let approx = ivf.build_index(&keys, 5, false);
+        assert!((recall_at_k(&approx, &exact, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_into_an_empty_index_seeds_a_centroid() {
+        let points = random_set(10, 13);
+        let empty = crate::points::MixedPointSet::new(points.manifold().clone());
+        let mut ivf = IvfIndex::build(empty, IvfConfig::default());
+        assert!(ivf.is_empty());
+        ivf.insert(&points);
+        assert_eq!(ivf.len(), 10);
+        assert_eq!(
+            ivf.non_empty_clusters(),
+            1,
+            "all land on the seeded centroid"
+        );
+        let hits = ivf.search(points.point(0), points.weight(0), 3, None);
+        assert_eq!(hits.first().unwrap().0, points.id(0));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //!
 //! * [`MixedPointSet`] — flat storage of points of one edge space plus their
 //!   precomputed attention weights,
-//! * [`AnnIndex`] — the pluggable backend trait: per-query top-K search
-//!   plus bulk inverted-index construction over any candidate set,
+//! * [`AnnIndex`] — the pluggable backend trait: per-query top-K search,
+//!   bulk inverted-index construction over any candidate set, and an
+//!   incremental-insert seam (`insert`) for streaming corpus updates,
 //! * [`ExactBackend`] / [`build_exact_index`] — multi-threaded exact top-K
 //!   scan (the paper's OpenMP + SIMD parallel brute force),
 //! * [`IvfBackend`] / [`IvfIndex`] — an inverted-file approximate index

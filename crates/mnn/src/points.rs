@@ -7,16 +7,25 @@
 //! stand-in for the SIMD instruction-level parallelism of the paper's MNN
 //! workers.
 
+use std::collections::HashMap;
+
 use amcad_manifold::ProductManifold;
 
 /// A set of points of one mixed-curvature (edge) space, with per-point
 /// attention weights.
+///
+/// Alongside the flat buffers the set maintains an id → index map, so
+/// [`MixedPointSet::index_of`] is O(1) — serving-path lookups and the
+/// delta-update validation both depend on that. The map records the
+/// *first* occurrence of an id (duplicate ids are a build-input error
+/// upstream, but the map never silently re-points an existing id).
 #[derive(Debug, Clone)]
 pub struct MixedPointSet {
     manifold: ProductManifold,
     ids: Vec<u32>,
     points: Vec<f64>,
     weights: Vec<f64>,
+    by_id: HashMap<u32, usize>,
 }
 
 impl MixedPointSet {
@@ -27,6 +36,7 @@ impl MixedPointSet {
             ids: Vec::new(),
             points: Vec::new(),
             weights: Vec::new(),
+            by_id: HashMap::new(),
         }
     }
 
@@ -58,6 +68,7 @@ impl MixedPointSet {
             self.manifold.num_subspaces(),
             "weight length mismatch"
         );
+        self.by_id.entry(id).or_insert(self.ids.len());
         self.ids.push(id);
         self.points.extend_from_slice(point);
         self.weights.extend_from_slice(weight);
@@ -88,10 +99,79 @@ impl MixedPointSet {
         &self.weights[i * m..(i + 1) * m]
     }
 
-    /// Index of the point with external id `id`, if present (linear scan —
-    /// only used by tests and small lookups).
+    /// Index of the point with external id `id`, if present — an O(1) map
+    /// lookup. With duplicate ids (a build-input error upstream) the
+    /// *first* occurrence wins, matching what a linear scan would find.
     pub fn index_of(&self, id: u32) -> Option<usize> {
-        self.ids.iter().position(|&x| x == id)
+        self.by_id.get(&id).copied()
+    }
+
+    /// Whether a point with external id `id` is present.
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// The first id that occurs more than once, if any. O(1) when the set
+    /// is duplicate-free (the id map then covers every point); only a set
+    /// that actually contains duplicates pays for the scan. Index builds
+    /// use this to reject corrupt inputs with a typed error.
+    pub fn first_duplicate_id(&self) -> Option<u32> {
+        if self.by_id.len() == self.ids.len() {
+            return None;
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.ids.len());
+        self.ids.iter().find(|&&id| !seen.insert(id)).copied()
+    }
+
+    /// Append every point of `other` (same manifold), preserving order,
+    /// coordinates and weights bit-for-bit — the "add" half of the delta
+    /// lifecycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manifolds differ.
+    pub fn append(&mut self, other: &MixedPointSet) {
+        assert_eq!(
+            self.manifold, other.manifold,
+            "appended points must live on the same manifold"
+        );
+        self.ids.reserve(other.len());
+        self.points.reserve(other.points.len());
+        self.weights.reserve(other.weights.len());
+        for i in 0..other.len() {
+            self.push(other.id(i), other.point(i), other.weight(i));
+        }
+    }
+
+    /// Remove every point whose id satisfies `drop`, compacting the flat
+    /// buffers in place while preserving the order of the survivors — the
+    /// "retire" half of the delta lifecycle. Returns how many points were
+    /// removed. The id map is rebuilt, so `index_of` stays consistent.
+    pub fn retire(&mut self, mut drop: impl FnMut(u32) -> bool) -> usize {
+        let d = self.manifold.total_dim();
+        let m = self.manifold.num_subspaces();
+        let n = self.len();
+        let mut write = 0;
+        for read in 0..n {
+            if drop(self.ids[read]) {
+                continue;
+            }
+            if write != read {
+                self.ids[write] = self.ids[read];
+                self.points.copy_within(read * d..(read + 1) * d, write * d);
+                self.weights
+                    .copy_within(read * m..(read + 1) * m, write * m);
+            }
+            write += 1;
+        }
+        self.ids.truncate(write);
+        self.points.truncate(write * d);
+        self.weights.truncate(write * m);
+        self.by_id.clear();
+        for (i, &id) in self.ids.iter().enumerate() {
+            self.by_id.entry(id).or_insert(i);
+        }
+        n - write
     }
 
     /// Split the set into `parts` disjoint sets by assigning every point
@@ -237,6 +317,99 @@ mod tests {
         let odd_tens = set.filtered(|id| id != 20);
         assert_eq!(odd_tens.ids(), &[10, 30]);
         assert!(set.filtered(|_| false).is_empty());
+    }
+
+    /// The id map must agree with a linear scan after every operation
+    /// that builds or reshapes a set.
+    fn assert_map_consistent(set: &MixedPointSet) {
+        for i in 0..set.len() {
+            let id = set.id(i);
+            assert_eq!(
+                set.index_of(id),
+                set.ids().iter().position(|&x| x == id),
+                "index_of({id}) diverged from the linear scan"
+            );
+            assert!(set.contains_id(id));
+        }
+        assert_eq!(set.index_of(u32::MAX), None);
+        assert!(!set.contains_id(u32::MAX));
+    }
+
+    #[test]
+    fn partition_by_and_filtered_keep_the_id_map_consistent() {
+        let set = sample_set();
+        assert_map_consistent(&set);
+        for part in set.partition_by(2, |id| (id as usize / 10) % 2) {
+            assert_map_consistent(&part);
+        }
+        let filtered = set.filtered(|id| id != 20);
+        assert_map_consistent(&filtered);
+        assert_eq!(filtered.index_of(20), None);
+        assert_eq!(filtered.index_of(30), Some(1), "indices shift after a drop");
+    }
+
+    #[test]
+    fn append_adds_points_bit_for_bit_and_updates_the_map() {
+        let mut set = sample_set();
+        let manifold = set.manifold().clone();
+        let mut extra = MixedPointSet::new(manifold.clone());
+        extra.push(40, &manifold.exp0(&[0.2, -0.1, 0.0, 0.3]), &[0.6, 0.4]);
+        extra.push(50, &manifold.exp0(&[-0.1, 0.1, 0.2, 0.0]), &[0.1, 0.9]);
+        set.append(&extra);
+        assert_eq!(set.ids(), &[10, 20, 30, 40, 50]);
+        assert_eq!(set.point(3), extra.point(0));
+        assert_eq!(set.weight(4), extra.weight(1));
+        assert_map_consistent(&set);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_rejects_a_foreign_manifold() {
+        let mut set = sample_set();
+        let other = MixedPointSet::new(ProductManifold::new(vec![SubspaceSpec::new(3, 0.0)]));
+        set.append(&other);
+    }
+
+    #[test]
+    fn retire_compacts_in_place_preserving_survivor_order() {
+        let mut set = sample_set();
+        let expected_point = set.point(2).to_vec();
+        let expected_weight = set.weight(2).to_vec();
+        assert_eq!(set.retire(|id| id == 20), 1);
+        assert_eq!(set.ids(), &[10, 30]);
+        assert_eq!(set.point(1), expected_point.as_slice());
+        assert_eq!(set.weight(1), expected_weight.as_slice());
+        assert_map_consistent(&set);
+        // retiring nothing is a no-op; retiring everything empties the set
+        assert_eq!(set.retire(|_| false), 0);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.retire(|_| true), 2);
+        assert!(set.is_empty());
+        assert_map_consistent(&set);
+    }
+
+    #[test]
+    fn retire_then_append_round_trips_a_point() {
+        let mut set = sample_set();
+        let held_out = set.filtered(|id| id == 20);
+        set.retire(|id| id == 20);
+        set.append(&held_out);
+        assert_eq!(set.ids(), &[10, 30, 20]);
+        let original = sample_set();
+        let (i, j) = (original.index_of(20).unwrap(), set.index_of(20).unwrap());
+        assert_eq!(original.point(i), set.point(j));
+        assert_eq!(original.weight(i), set.weight(j));
+        assert_map_consistent(&set);
+    }
+
+    #[test]
+    fn duplicate_ids_are_detected_and_first_occurrence_wins() {
+        let mut set = sample_set();
+        assert_eq!(set.first_duplicate_id(), None);
+        let manifold = set.manifold().clone();
+        set.push(20, &manifold.exp0(&[0.0; 4]), &[0.5, 0.5]);
+        assert_eq!(set.first_duplicate_id(), Some(20));
+        assert_eq!(set.index_of(20), Some(1), "first occurrence wins");
     }
 
     #[test]

@@ -230,9 +230,11 @@ impl RetrievalEngineBuilder {
     }
 
     /// Build the six indices from the point sets and assemble the engine.
+    /// Inputs with duplicate ids are rejected as
+    /// [`RetrievalError::DuplicateId`] before any index work happens.
     pub fn build(self, inputs: &IndexBuildInputs) -> Result<RetrievalEngine, RetrievalError> {
         self.validate()?;
-        let indexes = IndexSet::build(inputs, self.index);
+        let indexes = IndexSet::build(inputs, self.index)?;
         self.assemble(indexes)
     }
 
@@ -507,6 +509,21 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_input_ids_fail_the_engine_build_with_a_typed_error() {
+        let mut bad = inputs();
+        let i = bad.ads_ia.index_of(210).unwrap();
+        let (point, weight) = (bad.ads_ia.point(i).to_vec(), bad.ads_ia.weight(i).to_vec());
+        bad.ads_ia.push(210, &point, &weight);
+        assert_eq!(
+            RetrievalEngine::builder().build(&bad).unwrap_err(),
+            RetrievalError::DuplicateId {
+                space: "ads_ia",
+                id: 210
+            }
+        );
+    }
+
+    #[test]
     fn build_from_indexes_shares_a_prebuilt_index_set() {
         let indexes = IndexSet::build(
             &inputs(),
@@ -515,7 +532,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let engine = RetrievalEngine::builder()
             .top_k(8)
             .build_from_indexes(indexes.clone())
@@ -541,7 +559,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
             RetrievalEngine::builder()
                 .build_from_indexes(empty_set)

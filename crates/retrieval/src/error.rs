@@ -32,6 +32,24 @@ pub enum RetrievalError {
         /// empty ad posting lists.
         stats: RetrievalStats,
     },
+    /// An index-build input (or delta) carries the same id twice where
+    /// ids must be unique. Duplicate key ids silently overwrite posting
+    /// lists and duplicate candidate ids corrupt postings merges (and
+    /// would corrupt delta merges), so builds and delta applications
+    /// reject them up front.
+    DuplicateId {
+        /// The point set (or delta field) holding the duplicate.
+        space: &'static str,
+        /// The offending id.
+        id: u32,
+    },
+    /// A delta retired an ad id the current corpus does not contain —
+    /// applying it would silently diverge the delta-maintained corpus
+    /// from the intended one.
+    UnknownAd {
+        /// The ad id the delta tried to retire.
+        ad: u32,
+    },
     /// A sharded deployment lost *every* serving replica of one shard, so
     /// the fan-out can no longer assemble the globally correct ranking.
     /// Requests degrade to this typed error instead of panicking or
@@ -80,6 +98,18 @@ impl fmt::Display for RetrievalError {
                     stats.keys_expanded, stats.postings_scanned
                 )
             }
+            RetrievalError::DuplicateId { space, id } => {
+                write!(
+                    f,
+                    "duplicate id {id} in {space}: index-build inputs must have unique ids per point set"
+                )
+            }
+            RetrievalError::UnknownAd { ad } => {
+                write!(
+                    f,
+                    "delta retires ad {ad}, which the current corpus does not contain"
+                )
+            }
             RetrievalError::ShardUnavailable { shard, replicas } => {
                 write!(
                     f,
@@ -113,5 +143,13 @@ mod tests {
         };
         assert!(e.to_string().contains("shard 3"));
         assert!(e.to_string().contains("2 serving replicas"));
+        let e = RetrievalError::DuplicateId {
+            space: "ads_qa",
+            id: 207,
+        };
+        assert!(e.to_string().contains("207"));
+        assert!(e.to_string().contains("ads_qa"));
+        let e = RetrievalError::UnknownAd { ad: 9000 };
+        assert!(e.to_string().contains("9000"));
     }
 }

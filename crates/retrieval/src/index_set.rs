@@ -8,6 +8,8 @@
 
 use amcad_mnn::{IndexBackend, InvertedIndex, MixedPointSet};
 
+use crate::error::RetrievalError;
+
 /// Point sets needed to build all six indices.  Indices that swap key and
 /// candidate (Q2I / I2Q) share the same underlying edge space, so queries
 /// and items each appear once per space.
@@ -29,6 +31,35 @@ pub struct IndexBuildInputs {
     pub items_ia: MixedPointSet,
     /// Ads projected into the I-A edge space.
     pub ads_ia: MixedPointSet,
+}
+
+impl IndexBuildInputs {
+    /// The eight point sets with their space names, in declaration order.
+    pub(crate) fn spaces(&self) -> [(&'static str, &MixedPointSet); 8] {
+        [
+            ("queries_qq", &self.queries_qq),
+            ("queries_qi", &self.queries_qi),
+            ("items_qi", &self.items_qi),
+            ("queries_qa", &self.queries_qa),
+            ("ads_qa", &self.ads_qa),
+            ("items_ii", &self.items_ii),
+            ("items_ia", &self.items_ia),
+            ("ads_ia", &self.ads_ia),
+        ]
+    }
+
+    /// Reject inputs that would corrupt index construction: a duplicate
+    /// id within any point set silently overwrites that key's posting
+    /// list (and duplicates candidate postings), and would corrupt delta
+    /// merges downstream. Surfaced as [`RetrievalError::DuplicateId`].
+    pub fn validate(&self) -> Result<(), RetrievalError> {
+        for (space, set) in self.spaces() {
+            if let Some(id) = set.first_duplicate_id() {
+                return Err(RetrievalError::DuplicateId { space, id });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Configuration of offline index construction.
@@ -71,8 +102,15 @@ pub struct IndexSet {
 
 impl IndexSet {
     /// Build all six indices with the configured ANN backend (exact
-    /// multi-threaded MNN scan by default, IVF when selected).
-    pub fn build(inputs: &IndexBuildInputs, config: IndexBuildConfig) -> IndexSet {
+    /// multi-threaded MNN scan by default, IVF when selected). Inputs are
+    /// validated first: duplicate ids within any point set — which would
+    /// silently overwrite posting lists and corrupt delta merges — are
+    /// rejected as [`RetrievalError::DuplicateId`].
+    pub fn build(
+        inputs: &IndexBuildInputs,
+        config: IndexBuildConfig,
+    ) -> Result<IndexSet, RetrievalError> {
+        inputs.validate()?;
         let k = config.top_k;
         let t = config.threads;
         let build = |keys: &MixedPointSet, candidates: &MixedPointSet, exclude_same: bool| {
@@ -80,14 +118,14 @@ impl IndexSet {
                 .backend
                 .build_index(keys, candidates, k, exclude_same, t)
         };
-        IndexSet {
+        Ok(IndexSet {
             q2q: build(&inputs.queries_qq, &inputs.queries_qq, true),
             q2i: build(&inputs.queries_qi, &inputs.items_qi, false),
             i2q: build(&inputs.items_qi, &inputs.queries_qi, false),
             i2i: build(&inputs.items_ii, &inputs.items_ii, true),
             q2a: build(&inputs.queries_qa, &inputs.ads_qa, false),
             i2a: build(&inputs.items_ia, &inputs.ads_ia, false),
-        }
+        })
     }
 
     /// Total number of posting lists across the six indices.
@@ -125,7 +163,8 @@ mod tests {
                 threads: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(set.q2q.len(), 10);
         assert_eq!(set.q2i.len(), 10);
         assert_eq!(set.i2q.len(), 40);
@@ -145,7 +184,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for (key, postings) in set.q2q.iter() {
             assert!(postings.iter().all(|(c, _)| c != key));
         }
@@ -165,7 +205,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let ivf = IndexSet::build(
             &inputs,
             IndexBuildConfig {
@@ -178,13 +219,52 @@ mod tests {
                     seed: 7,
                 }),
             },
-        );
+        )
+        .unwrap();
         assert_eq!(exact.total_keys(), ivf.total_keys());
         for (key, postings) in exact.q2a.iter() {
             let other = ivf.q2a.get(*key).unwrap();
             let ids = |p: &amcad_mnn::Postings| p.iter().map(|(id, _)| *id).collect::<Vec<_>>();
             assert_eq!(ids(postings), ids(other));
         }
+    }
+
+    #[test]
+    fn duplicate_ids_in_any_input_space_are_rejected_with_a_typed_error() {
+        // a duplicate ad id would corrupt postings merges (and delta
+        // merges): the build must fail fast, naming the space and the id
+        let mut inputs = tiny_inputs();
+        let i = inputs.ads_qa.index_of(205).unwrap();
+        let (point, weight) = (
+            inputs.ads_qa.point(i).to_vec(),
+            inputs.ads_qa.weight(i).to_vec(),
+        );
+        inputs.ads_qa.push(205, &point, &weight);
+        assert_eq!(
+            IndexSet::build(&inputs, IndexBuildConfig::default()).unwrap_err(),
+            RetrievalError::DuplicateId {
+                space: "ads_qa",
+                id: 205
+            }
+        );
+        // a duplicate key id silently overwrites a posting list — equally
+        // rejected, in whichever space it appears
+        let mut inputs = tiny_inputs();
+        let i = inputs.queries_qq.index_of(3).unwrap();
+        let (point, weight) = (
+            inputs.queries_qq.point(i).to_vec(),
+            inputs.queries_qq.weight(i).to_vec(),
+        );
+        inputs.queries_qq.push(3, &point, &weight);
+        assert_eq!(
+            IndexSet::build(&inputs, IndexBuildConfig::default()).unwrap_err(),
+            RetrievalError::DuplicateId {
+                space: "queries_qq",
+                id: 3
+            }
+        );
+        // clean inputs still build
+        assert!(IndexSet::build(&tiny_inputs(), IndexBuildConfig::default()).is_ok());
     }
 
     #[test]
@@ -196,7 +276,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for (_, postings) in set.q2a.iter() {
             assert!(postings.iter().all(|(c, _)| (200..220).contains(c)));
         }

@@ -31,12 +31,23 @@
 //!   keep serving, each response attributable to exactly one snapshot
 //!   generation — the zero-downtime index update of Section V-C.
 //!
+//! Between full rebuilds, **delta publishes** keep the corpus fresh
+//! incrementally: [`IndexDelta`] names the ads entering and leaving,
+//! [`DeltaBuilder`] / [`ShardedDeltaBuilder`] update only the ad-side
+//! indices of only the touched shards (untouched shards reuse their
+//! `Arc`'d storage pointer-identically), and
+//! [`EngineHandle::publish_delta`] swaps the result in as the next
+//! generation. Delta-built rankings are property-tested bit-identical to
+//! a from-scratch rebuild of the post-delta corpus — see the [`delta`]
+//! module docs for the algorithm and the exactness argument.
+//!
 //! Below the triad sit the building blocks: [`IndexSet`] (the six
 //! inverted indices Q2Q, Q2I, I2Q, I2I, Q2A, I2A built offline with any
-//! [`amcad_mnn::AnnIndex`] backend), [`TwoLayerRetriever`] (the bare
-//! layer logic), and [`ServingSimulator`] (an open-loop load generator
-//! measuring response time versus offered QPS, Fig. 9, over any
-//! [`Retrieve`] implementation).
+//! [`amcad_mnn::AnnIndex`] backend — duplicate input ids are rejected
+//! with the typed [`RetrievalError::DuplicateId`]), [`TwoLayerRetriever`]
+//! (the bare layer logic), and [`ServingSimulator`] (an open-loop load
+//! generator measuring response time versus offered QPS, Fig. 9, over
+//! any [`Retrieve`] implementation).
 //!
 //! ## Serving with shards, replicas and zero-downtime updates
 //!
@@ -77,7 +88,34 @@
 //! println!("now serving generation {generation}");
 //! # Ok::<(), amcad_retrieval::RetrievalError>(())
 //! ```
+//!
+//! ## Incremental freshness: delta publishes between rebuilds
+//!
+//! ```no_run
+//! use amcad_retrieval::{EngineHandle, IndexDelta, ShardedDeltaBuilder, ShardedEngine};
+//! # fn index_inputs() -> amcad_retrieval::IndexBuildInputs { unimplemented!() }
+//! # fn todays_new_ads() -> (amcad_mnn::MixedPointSet, amcad_mnn::MixedPointSet) { unimplemented!() }
+//!
+//! let inputs = index_inputs();
+//! let mut builder = ShardedDeltaBuilder::new(
+//!     &inputs,
+//!     ShardedEngine::builder().shards(4).replicas(2),
+//! )?;
+//! let handle = EngineHandle::new(builder.engine()?);
+//!
+//! // corpus churn: a few ads in, a few ads out — no O(corpus²) rebuild
+//! let (added_qa, added_ia) = todays_new_ads();
+//! let delta = IndexDelta {
+//!     added_ads_qa: added_qa,
+//!     added_ads_ia: added_ia,
+//!     retired_ads: vec![1371, 1398],
+//! };
+//! let generation = handle.publish_delta(&mut builder, &delta)?;
+//! println!("generation {generation}: rankings identical to a full rebuild");
+//! # Ok::<(), amcad_retrieval::RetrievalError>(())
+//! ```
 
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod index_set;
@@ -87,6 +125,7 @@ pub mod serving;
 pub mod shard;
 pub mod snapshot;
 
+pub use delta::{DeltaBuilder, IndexDelta, ShardedDeltaBuilder};
 pub use engine::{
     CoverageSource, ReplicaId, Request, RetrievalEngine, RetrievalEngineBuilder, RetrievalResponse,
     RetrievalStats, Retrieve,

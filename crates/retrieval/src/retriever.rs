@@ -394,7 +394,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         TwoLayerRetriever::new(indexes, RetrievalConfig::default())
     }
 
@@ -548,7 +549,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         indexes.q2a.insert(0, vec![(205, f64::NAN), (206, 0.1)]);
         let r = TwoLayerRetriever::new(indexes, RetrievalConfig::default());
         let single = r.retrieve_single_layer(0);

@@ -70,6 +70,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::engine::{
     ReplicaId, Request, RetrievalEngine, RetrievalResponse, RetrievalStats, Retrieve,
@@ -127,12 +128,12 @@ pub fn shard_inputs(inputs: &IndexBuildInputs, shards: usize) -> Vec<IndexBuildI
 /// count, replicas per shard, build-pool and fan-out-pool widths.
 #[derive(Debug, Clone)]
 pub struct ShardedEngineBuilder {
-    shards: usize,
-    replicas: usize,
-    build_threads: usize,
-    fanout_threads: usize,
-    index: IndexBuildConfig,
-    retrieval: RetrievalConfig,
+    pub(crate) shards: usize,
+    pub(crate) replicas: usize,
+    pub(crate) build_threads: usize,
+    pub(crate) fanout_threads: usize,
+    pub(crate) index: IndexBuildConfig,
+    pub(crate) retrieval: RetrievalConfig,
 }
 
 impl Default for ShardedEngineBuilder {
@@ -224,16 +225,7 @@ impl ShardedEngineBuilder {
     /// [`RetrievalError::EmptyIndex`] a single engine over the whole
     /// inputs would report.
     pub fn build(self, inputs: &IndexBuildInputs) -> Result<ShardedEngine, RetrievalError> {
-        if self.shards == 0 {
-            return Err(RetrievalError::InvalidConfig(
-                "shard count must be positive".into(),
-            ));
-        }
-        if self.replicas == 0 {
-            return Err(RetrievalError::InvalidConfig(
-                "replica count must be positive".into(),
-            ));
-        }
+        self.validate_topology()?;
         let parts = shard_inputs(inputs, self.shards);
         let build_pool = if self.build_threads == 0 {
             WorkerPool::sized_for(self.shards)
@@ -265,17 +257,26 @@ impl ShardedEngineBuilder {
         if engines.is_empty() {
             return Err(RetrievalError::EmptyIndex { indices: "q2a+i2a" });
         }
-        Ok(ShardedEngine {
-            shards: engines
-                .into_iter()
-                .map(|engine| ReplicatedShard::new(engine, self.replicas))
-                .collect(),
-            num_shards: self.shards,
-            replicas: self.replicas,
-            index_config: self.index,
-            retrieval: self.retrieval,
-            fanout: WorkerPool::new(self.fanout_threads),
-        })
+        Ok(ShardedEngine::from_shard_engines(
+            engines.into_iter().map(std::sync::Arc::new).collect(),
+            &self,
+        ))
+    }
+
+    /// Reject zero-sized topology knobs (shared by the builder and the
+    /// delta builder).
+    pub(crate) fn validate_topology(&self) -> Result<(), RetrievalError> {
+        if self.shards == 0 {
+            return Err(RetrievalError::InvalidConfig(
+                "shard count must be positive".into(),
+            ));
+        }
+        if self.replicas == 0 {
+            return Err(RetrievalError::InvalidConfig(
+                "replica count must be positive".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -313,16 +314,18 @@ impl ReplicaSlot {
 /// replicas degrades serving to [`RetrievalError::ShardUnavailable`].
 #[derive(Debug)]
 pub struct ReplicatedShard {
-    engine: RetrievalEngine,
+    engine: Arc<RetrievalEngine>,
     slots: Vec<ReplicaSlot>,
     cursor: AtomicUsize,
 }
 
 impl Clone for ReplicatedShard {
     /// Clones carry over the current health marking and serve counters.
+    /// The clone shares the shard's immutable index storage (an [`Arc`]
+    /// bump, not a deep copy).
     fn clone(&self) -> Self {
         ReplicatedShard {
-            engine: self.engine.clone(),
+            engine: Arc::clone(&self.engine),
             slots: self
                 .slots
                 .iter()
@@ -338,7 +341,7 @@ impl Clone for ReplicatedShard {
 }
 
 impl ReplicatedShard {
-    fn new(engine: RetrievalEngine, replicas: usize) -> Self {
+    fn new(engine: Arc<RetrievalEngine>, replicas: usize) -> Self {
         ReplicatedShard {
             engine,
             slots: (0..replicas).map(|_| ReplicaSlot::healthy()).collect(),
@@ -348,6 +351,14 @@ impl ReplicatedShard {
 
     /// The shard's engine (shared by all of its replicas).
     pub fn engine(&self) -> &RetrievalEngine {
+        &self.engine
+    }
+
+    /// The shard's shared, immutable index storage. Delta publishes reuse
+    /// this [`Arc`] for shards a delta does not touch, so a generation
+    /// swap leaves untouched shards byte-identical (pointer-identical, in
+    /// fact — `Arc::ptr_eq` across generations proves the reuse).
+    pub fn engine_shared(&self) -> &Arc<RetrievalEngine> {
         &self.engine
     }
 
@@ -448,6 +459,31 @@ impl ShardedEngine {
     /// Start building a sharded engine.
     pub fn builder() -> ShardedEngineBuilder {
         ShardedEngineBuilder::default()
+    }
+
+    /// Assemble a serving engine around already-built (and possibly
+    /// shared) per-shard engines, in active-shard order. This is how a
+    /// delta publish constructs the next generation: shards the delta did
+    /// not touch contribute the *same* [`Arc`] as the previous
+    /// generation, so their index storage is reused rather than copied.
+    /// Replica health marking starts fresh — a new generation's replicas
+    /// all begin in rotation.
+    pub(crate) fn from_shard_engines(
+        engines: Vec<Arc<RetrievalEngine>>,
+        topology: &ShardedEngineBuilder,
+    ) -> ShardedEngine {
+        debug_assert!(!engines.is_empty(), "callers reject all-empty builds");
+        ShardedEngine {
+            shards: engines
+                .into_iter()
+                .map(|engine| ReplicatedShard::new(engine, topology.replicas))
+                .collect(),
+            num_shards: topology.shards,
+            replicas: topology.replicas,
+            index_config: topology.index,
+            retrieval: topology.retrieval,
+            fanout: WorkerPool::new(topology.fanout_threads),
+        }
     }
 
     /// The configured shard count (including shards skipped for emptiness).

@@ -8,6 +8,13 @@
 //! attributable to the snapshot generation (= serving day) that produced
 //! it, and no request ever fails or observes a half-swapped index.
 //!
+//! Between the daily full refreshes the ad corpus itself churns: ads are
+//! on-boarded and taken down while queries keep flowing. The second phase
+//! models that with **delta publishes** — `EngineHandle::publish_delta`
+//! appends / retires ads through a `ShardedDeltaBuilder` without
+//! re-running the full neighbour build, and the example reports the
+//! measured delta-publish versus full-rebuild wall clock.
+//!
 //! ```bash
 //! cargo run --release --example incremental_training
 //! ```
@@ -15,13 +22,16 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use amcad::core::{build_index_inputs, evaluate_offline, EvalConfig};
 use amcad::datagen::{Dataset, WorldConfig};
 use amcad::eval::TextTable;
 use amcad::model::{AmcadConfig, AmcadModel, Trainer, TrainerConfig};
-use amcad::retrieval::{EngineHandle, Request, RetrievalEngine, Retrieve};
+use amcad::retrieval::{
+    EngineHandle, IndexDelta, Request, RetrievalEngine, Retrieve, ShardedDeltaBuilder,
+    ShardedEngine,
+};
 
 fn main() {
     let seed = 23;
@@ -47,11 +57,11 @@ fn main() {
         seed,
     };
     // one export per day feeds both the offline metrics and the index build
-    let build_engine = |export: &amcad::model::ModelExport, dataset: &Dataset| -> RetrievalEngine {
+    let build_engine = |inputs: &amcad::retrieval::IndexBuildInputs| -> RetrievalEngine {
         RetrievalEngine::builder()
             .top_k(10)
             .threads(2)
-            .build(&build_index_inputs(export, dataset))
+            .build(inputs)
             .expect("incremental exports keep the ad indices non-empty")
     };
 
@@ -66,7 +76,7 @@ fn main() {
     let day1_report = trainer.run(&mut model, &days[0].graph);
     let day1_export = model.export(&days[0].graph, seed);
     let day1_metrics = evaluate_offline(&day1_export, &days[0], &eval_cfg);
-    let handle = EngineHandle::new(build_engine(&day1_export, &days[0]));
+    let handle = EngineHandle::new(build_engine(&build_index_inputs(&day1_export, &days[0])));
     table.row(vec![
         "day 1".into(),
         format!(
@@ -93,6 +103,8 @@ fn main() {
     let stop = AtomicBool::new(false);
     let errors = std::sync::atomic::AtomicUsize::new(0);
     let served_per_generation: Mutex<BTreeMap<u64, usize>> = Mutex::new(BTreeMap::new());
+    let mut last_inputs: Option<amcad::retrieval::IndexBuildInputs> = None;
+    let mut churn_summary = String::new();
     std::thread::scope(|scope| {
         for worker in 0..2usize {
             let handle = &handle;
@@ -125,7 +137,9 @@ fn main() {
             let report = trainer.run(&mut model, &dataset.graph);
             let export = model.export(&dataset.graph, seed);
             let metrics = evaluate_offline(&export, dataset, &eval_cfg);
-            let generation = handle.publish(build_engine(&export, dataset));
+            let inputs = build_index_inputs(&export, dataset);
+            let generation = handle.publish(build_engine(&inputs));
+            last_inputs = Some(inputs);
             table.row(vec![
                 format!("day {}", d + 1),
                 format!("{:.4}", report.losses.last().copied().unwrap_or(f64::NAN)),
@@ -135,6 +149,57 @@ fn main() {
             // let the workers serve a while on the fresh generation
             std::thread::sleep(Duration::from_millis(30));
         }
+
+        // -- Intra-day corpus churn: delta publishes, serving never stops --
+        // Between full daily refreshes the corpus itself churns. Model it:
+        // a deployment serving the last day's corpus minus a hold-out, a
+        // delta that on-boards the hold-out and retires a few live ads,
+        // and the measured delta-publish vs full-rebuild wall clock.
+        let inputs = last_inputs.take().expect("the day loop always runs");
+        let ad_ids: Vec<u32> = inputs.ads_qa.ids().to_vec();
+        let held_out: Vec<u32> = ad_ids.iter().rev().take(3).copied().collect();
+        let retired: Vec<u32> = ad_ids.iter().take(3).copied().collect();
+        let mut base = inputs.clone();
+        base.ads_qa.retire(|id| held_out.contains(&id));
+        base.ads_ia.retire(|id| held_out.contains(&id));
+        let mut builder = ShardedDeltaBuilder::new(
+            &base,
+            ShardedEngine::builder().shards(2).top_k(10).threads(1),
+        )
+        .expect("the churned corpus seeds a valid delta builder");
+        handle.publish(builder.engine().expect("the base generation serves"));
+        let delta = IndexDelta {
+            added_ads_qa: inputs.ads_qa.filtered(|id| held_out.contains(&id)),
+            added_ads_ia: inputs.ads_ia.filtered(|id| held_out.contains(&id)),
+            retired_ads: retired.clone(),
+        };
+        let start = Instant::now();
+        let generation = handle
+            .publish_delta(&mut builder, &delta)
+            .expect("the churn delta is valid");
+        let delta_secs = start.elapsed().as_secs_f64();
+        // the same post-delta corpus, rebuilt from scratch (timed only —
+        // the delta generation is already live)
+        let mut post = base.clone();
+        delta.apply_to(&mut post);
+        let start = Instant::now();
+        ShardedEngine::builder()
+            .shards(2)
+            .top_k(10)
+            .threads(1)
+            .build(&post)
+            .expect("the post-delta corpus rebuilds");
+        let full_secs = start.elapsed().as_secs_f64();
+        churn_summary = format!(
+            "generation {generation}: +{} on-boarded / -{} retired ads published as a delta in \
+             {:.2} ms — a full rebuild of the same corpus takes {:.2} ms ({:.1}x)",
+            held_out.len(),
+            retired.len(),
+            delta_secs * 1e3,
+            full_secs * 1e3,
+            full_secs / delta_secs.max(1e-9),
+        );
+        std::thread::sleep(Duration::from_millis(30));
         stop.store(true, Ordering::Relaxed);
     });
 
@@ -144,13 +209,21 @@ fn main() {
     );
     println!("training does not degrade the model (Section V-C reports day-over-day stability).");
 
-    println!("\nZero-downtime serving during the rebuild-and-publish loop:");
+    println!("\nIntra-day corpus churn (delta publishes, 2 shards):");
+    println!("  {churn_summary}");
+    println!("  Delta-built rankings are bit-identical to the full rebuild (property-tested),");
+    println!("  and shards the churn does not touch reuse their index storage unchanged.");
+
+    println!("\nZero-downtime serving during the rebuild-and-publish loop");
+    println!(
+        "(generations 1-3: daily full refreshes; 4: churn-base full publish; 5: delta publish):"
+    );
     for (generation, count) in served_per_generation.lock().unwrap().iter() {
-        println!("  generation {generation} (day {generation}) served {count} requests");
+        println!("  generation {generation} served {count} requests");
     }
     let errors = errors.load(Ordering::Relaxed);
     assert_eq!(errors, 0, "a published generation failed a request");
     println!("Every response above is attributable to exactly one snapshot generation; the");
     println!("workers never stopped, saw a torn index, or hit an error ({errors} errors)");
-    println!("while days were trained and published.");
+    println!("while days were trained, published, and delta-churned.");
 }

@@ -14,7 +14,7 @@
 //! | [`datagen`] | `amcad-datagen` | synthetic sponsored-search behaviour-log generator |
 //! | [`model`] | `amcad-model` | the adaptive mixed-curvature model family + walk baselines |
 //! | [`mnn`] | `amcad-mnn` | pluggable ANN backends (`AnnIndex`): exact parallel scan, tangent-space IVF |
-//! | [`retrieval`] | `amcad-retrieval` | the serving triad — `Retrieve` trait, `RetrievalEngine` / `ShardedEngine`, hot-swappable `EngineHandle` — plus the load simulator |
+//! | [`retrieval`] | `amcad-retrieval` | the serving triad — `Retrieve` trait, `RetrievalEngine` / `ShardedEngine`, hot-swappable `EngineHandle` — plus delta publishes and the load simulator |
 //! | [`eval`] | `amcad-eval` | ranking metrics and the A/B click/revenue simulator |
 //! | [`core`] | `amcad-core` | the end-to-end pipeline and the offline evaluation protocol |
 //!
@@ -98,6 +98,46 @@
 //! assert_eq!(handle.generation(), generation);
 //! # Ok::<(), amcad::retrieval::RetrievalError>(())
 //! ```
+//!
+//! ## Delta publishes: incremental freshness between rebuilds
+//!
+//! Full rebuilds cover the daily retrain; the ad corpus churns far more
+//! often. A delta publish appends / retires ads **in place** between
+//! generations — only the ad-side postings of only the touched shards
+//! are updated (untouched shards reuse their `Arc`'d index storage
+//! pointer-identically), and the resulting rankings are property-tested
+//! bit-identical to a from-scratch rebuild of the post-delta corpus:
+//!
+//! ```no_run
+//! use amcad::core::{build_index_inputs, Pipeline, PipelineConfig};
+//! use amcad::retrieval::{EngineHandle, IndexDelta, ShardedDeltaBuilder, ShardedEngine};
+//!
+//! let result = Pipeline::new(PipelineConfig::small(42)).run();
+//! let inputs = build_index_inputs(&result.export, &result.dataset);
+//!
+//! // seed generation 1: per-shard delta state + the serving engine
+//! let mut builder = ShardedDeltaBuilder::new(
+//!     &inputs,
+//!     ShardedEngine::builder().shards(4).replicas(2),
+//! )?;
+//! let handle = EngineHandle::new(builder.engine()?);
+//!
+//! // corpus churn: retire two ads (a retire-only delta needs no points;
+//! // on-boarding new ads carries their projected points in both ad spaces)
+//! let ads = inputs.ads_qa.ids();
+//! let delta = IndexDelta::retire_only(&inputs, vec![ads[0], ads[1]]);
+//! let generation = handle.publish_delta(&mut builder, &delta)?;
+//! println!("generation {generation} live — no O(corpus²) rebuild, no downtime");
+//! # Ok::<(), amcad::retrieval::RetrievalError>(())
+//! ```
+//!
+//! Build inputs are validated on every path (duplicate ids →
+//! `RetrievalError::DuplicateId`, retiring unknown ads →
+//! `RetrievalError::UnknownAd`), and emptied deployments degrade to the
+//! typed `EmptyIndex` / `ShardUnavailable` errors rather than panicking.
+//! See `crates/retrieval/src/README.md` for the full append/retire
+//! lifecycle and `table9_scalability` for the measured delta-vs-full
+//! wall clock.
 //!
 //! The `PipelineConfig::with_backend` knob threads the backend selection
 //! through the one-call pipeline, and `ServingSimulator` load-tests any

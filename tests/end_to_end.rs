@@ -9,7 +9,8 @@ use amcad::datagen::{Dataset, WorldConfig};
 use amcad::graph::{NodeId, NodeType};
 use amcad::model::{PairScorer, RelationKind, SgnsConfig, SgnsModel, WalkStrategy};
 use amcad::retrieval::{
-    EngineHandle, Request, RetrievalError, RetrievalResponse, Retrieve, ShardedEngine,
+    EngineHandle, IndexDelta, Request, RetrievalEngine, RetrievalError, RetrievalResponse,
+    Retrieve, ShardedDeltaBuilder, ShardedEngine,
 };
 
 fn pipeline_result() -> amcad::core::PipelineResult {
@@ -209,6 +210,86 @@ fn sharded_serving_and_hot_swap_agree_with_the_monolithic_engine_end_to_end() {
             .map(logical)
             .collect();
         assert_eq!(sharded_batch, single_batch);
+    }
+}
+
+#[test]
+fn delta_publishes_match_full_rebuilds_over_real_pipeline_output() {
+    // The incremental freshness story end to end: a deployment serving
+    // real pipeline output absorbs a corpus churn (on-boarded + retired
+    // ads) through EngineHandle::publish_delta, and the delta-built
+    // generation serves exactly what a from-scratch rebuild of the
+    // post-delta corpus serves — sharded or monolithic.
+    let result = pipeline_result();
+    let inputs = build_index_inputs(&result.export, &result.dataset);
+    let index_config = *result.engine.index_config();
+    let requests: Vec<Request> = result
+        .dataset
+        .eval_sessions
+        .iter()
+        .take(25)
+        .map(|s| Request {
+            query: s.query.0,
+            preclick_items: result
+                .dataset
+                .preclick_items(s)
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        })
+        .collect();
+    // generation 1 serves the corpus minus a hold-out; the delta
+    // on-boards the hold-out and retires a few live ads
+    let ad_ids: Vec<u32> = inputs.ads_qa.ids().to_vec();
+    let held_out: Vec<u32> = ad_ids.iter().rev().take(5).copied().collect();
+    let retired: Vec<u32> = ad_ids.iter().take(5).copied().collect();
+    let mut base = inputs.clone();
+    base.ads_qa.retire(|id| held_out.contains(&id));
+    base.ads_ia.retire(|id| held_out.contains(&id));
+    let delta = IndexDelta {
+        added_ads_qa: inputs.ads_qa.filtered(|id| held_out.contains(&id)),
+        added_ads_ia: inputs.ads_ia.filtered(|id| held_out.contains(&id)),
+        retired_ads: retired.clone(),
+    };
+    // ground truth: the post-delta corpus rebuilt from scratch
+    let mut post = base.clone();
+    delta.apply_to(&mut post);
+    let fresh_single = RetrievalEngine::builder()
+        .index(index_config)
+        .build(&post)
+        .expect("the post-delta corpus builds a monolithic engine");
+    for shards in [2usize, 4] {
+        let mut builder = ShardedDeltaBuilder::new(
+            &base,
+            ShardedEngine::builder().shards(shards).index(index_config),
+        )
+        .expect("pipeline inputs seed a valid delta builder");
+        let handle = EngineHandle::new(builder.engine().expect("generation 1 serves"));
+        let generation = handle
+            .publish_delta(&mut builder, &delta)
+            .expect("the churn delta is valid");
+        assert_eq!(
+            generation, 2,
+            "{shards} shards: delta publish bumps the generation"
+        );
+        let fresh_sharded = ShardedEngine::builder()
+            .shards(shards)
+            .index(index_config)
+            .build(&post)
+            .expect("the post-delta corpus builds a sharded engine");
+        for request in &requests {
+            let via_delta = logical(handle.retrieve(request));
+            assert_eq!(
+                via_delta,
+                logical(fresh_single.retrieve(request)),
+                "{shards} shards: delta generation diverged from the monolithic rebuild"
+            );
+            assert_eq!(
+                via_delta,
+                logical(fresh_sharded.retrieve(request)),
+                "{shards} shards: delta generation diverged from the sharded rebuild"
+            );
+        }
     }
 }
 
