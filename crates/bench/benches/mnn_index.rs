@@ -1,11 +1,11 @@
 //! Criterion benchmarks of MNN inverted-index construction: exact scan with
 //! 1 vs 4 threads (the paper's data-level parallelism claim) and the IVF
-//! approximate index.
+//! and HNSW approximate indices.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use amcad_manifold::{ProductManifold, SubspaceSpec};
-use amcad_mnn::{build_exact_index, IvfConfig, IvfIndex, MixedPointSet};
+use amcad_mnn::{build_exact_index, HnswConfig, HnswIndex, IvfConfig, IvfIndex, MixedPointSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,6 +51,13 @@ fn bench_mnn(c: &mut Criterion) {
     let ivf = IvfIndex::build(candidates.clone(), IvfConfig::default());
     group.bench_function("ivf_search_200_keys_top20", |b| {
         b.iter(|| black_box(ivf.build_index(&keys, 20, false)))
+    });
+    group.bench_function("hnsw_build_1000", |b| {
+        b.iter(|| black_box(HnswIndex::build(candidates.clone(), HnswConfig::default())))
+    });
+    let hnsw = HnswIndex::build(candidates.clone(), HnswConfig::default());
+    group.bench_function("hnsw_search_200_keys_top20", |b| {
+        b.iter(|| black_box(hnsw.build_index(&keys, 20, false)))
     });
     group.finish();
 }

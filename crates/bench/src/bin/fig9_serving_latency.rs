@@ -6,9 +6,11 @@
 //! doubling across a ten-fold QPS increase) until the cluster nears
 //! saturation.  This binary runs the same sweep against the in-process
 //! retrieval engine with an open-loop load generator — once per ANN
-//! backend (exact scan and IVF), both built from the same embeddings
-//! through the same `RetrievalEngine` builder — so the recall/latency
-//! trade-off of approximate indexing shows up next to the paper's shape.
+//! backend (exact scan, IVF and HNSW), all built from the same embeddings
+//! through the same `RetrievalEngine` builder, each approximate backend
+//! annotated with the recall@k of its ad-side posting lists against the
+//! exact engine's — so the recall/latency trade-off of approximate
+//! indexing shows up next to the paper's shape.
 //! Workers serve through an `EngineHandle` snapshot (the production
 //! entry point), and the latency ladder reports p50 / p90 / p95 / p99:
 //! the saturation knee shows in the upper deciles before the median.
@@ -16,7 +18,7 @@
 use amcad_bench::Scale;
 use amcad_core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad_eval::TextTable;
-use amcad_mnn::{recall_at_k, IndexBackend, IvfConfig};
+use amcad_mnn::{HnswConfig, IndexBackend, IvfConfig};
 use amcad_retrieval::{
     EngineHandle, LoadReport, Request, RetrievalEngine, ServingConfig, ServingSimulator,
     ShardedEngine,
@@ -87,7 +89,11 @@ fn main() {
         })
         .collect();
 
-    let backends = [IndexBackend::Exact, IndexBackend::Ivf(IvfConfig::default())];
+    let backends = [
+        IndexBackend::Exact,
+        IndexBackend::Ivf(IvfConfig::default()),
+        IndexBackend::Hnsw(HnswConfig::default()),
+    ];
     let qps_levels = [
         1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0,
     ];
@@ -97,14 +103,15 @@ fn main() {
         batch_size: 8,
     };
 
-    let mut ivf_engine: Option<RetrievalEngine> = None;
+    let mut approx_engine: Option<RetrievalEngine> = None;
     for backend in backends {
         // the pipeline already built the exact engine with this exact
         // index/retrieval config — reuse it instead of re-running the
-        // most expensive offline stage
+        // most expensive offline stage; the approximate backends rebuild
+        // from the same embeddings
         let engine = match backend {
             IndexBackend::Exact => &result.engine,
-            IndexBackend::Ivf(_) => ivf_engine.insert(
+            _ => approx_engine.insert(
                 RetrievalEngine::builder()
                     .index(index_config)
                     .backend(backend)
@@ -114,18 +121,19 @@ fn main() {
             ),
         };
 
-        // quality context for the approximate backend: recall of its Q2A
-        // posting lists against the exact engine's
+        // quality context for the approximate backends: recall of their
+        // ad-side (Q2A + I2A) posting lists against the exact engine's
         let recall_note = match backend {
-            IndexBackend::Ivf(_) => {
-                let recall = recall_at_k(
-                    &engine.indexes().q2a,
-                    &result.engine.indexes().q2a,
-                    index_config.top_k,
-                );
-                format!(" (Q2A recall@{} vs exact: {recall:.3})", index_config.top_k)
-            }
             IndexBackend::Exact => String::new(),
+            _ => {
+                let recall = engine
+                    .indexes()
+                    .ad_recall_against(result.engine.indexes(), index_config.top_k);
+                format!(
+                    " (ad-side recall@{} vs exact: {recall:.3})",
+                    index_config.top_k
+                )
+            }
         };
         println!("-- backend: {}{recall_note}", backend.label());
 
@@ -189,6 +197,8 @@ fn main() {
     println!(
         "once the offered load exceeds what the worker pool can sustain (achieved < offered)."
     );
-    println!("Backend comparison: the IVF engine serves the same API with bounded recall loss;");
-    println!("its offline index build probes only nprobe clusters per key instead of scanning all candidates.");
+    println!("Backend comparison: the IVF and HNSW engines serve the same API with bounded");
+    println!("recall loss; their offline index builds probe nprobe clusters / walk an ef-wide");
+    println!("graph beam per key instead of scanning every candidate (see table9 for the");
+    println!("backend x ef_search recall/latency frontier).");
 }

@@ -6,6 +6,8 @@
 //! retrieval → offline metrics — the same flow the paper deploys across
 //! ODPS, Euler, XDL, MNN workers and iGraph.
 
+use std::sync::Arc;
+
 use amcad_datagen::{Dataset, WorldConfig};
 use amcad_eval::{AbMetrics, AbTestSimulator, ClickModelConfig, ServedAd};
 use amcad_graph::{NodeId, NodeType};
@@ -174,14 +176,17 @@ pub fn build_index_inputs(export: &ModelExport, dataset: &Dataset) -> IndexBuild
         }
         set
     };
+    // key-side sets are shared (replicated per shard / per delta
+    // generation as Arc bumps); ad-side sets are the partitioned, mutable
+    // half of the lifecycle and stay plain
     IndexBuildInputs {
-        queries_qq: collect(RelationKind::QueryQuery, &dataset.query_nodes),
-        queries_qi: collect(RelationKind::QueryItem, &dataset.query_nodes),
-        items_qi: collect(RelationKind::QueryItem, &dataset.item_nodes),
-        queries_qa: collect(RelationKind::QueryAd, &dataset.query_nodes),
+        queries_qq: Arc::new(collect(RelationKind::QueryQuery, &dataset.query_nodes)),
+        queries_qi: Arc::new(collect(RelationKind::QueryItem, &dataset.query_nodes)),
+        items_qi: Arc::new(collect(RelationKind::QueryItem, &dataset.item_nodes)),
+        queries_qa: Arc::new(collect(RelationKind::QueryAd, &dataset.query_nodes)),
         ads_qa: collect(RelationKind::QueryAd, &dataset.ad_nodes),
-        items_ii: collect(RelationKind::ItemItem, &dataset.item_nodes),
-        items_ia: collect(RelationKind::ItemAd, &dataset.item_nodes),
+        items_ii: Arc::new(collect(RelationKind::ItemItem, &dataset.item_nodes)),
+        items_ia: Arc::new(collect(RelationKind::ItemAd, &dataset.item_nodes)),
         ads_ia: collect(RelationKind::ItemAd, &dataset.ad_nodes),
     }
 }

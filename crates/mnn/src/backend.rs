@@ -4,13 +4,15 @@
 //! this module turns index construction into a seam: [`AnnIndex`] abstracts
 //! "a searchable candidate set", [`ExactBackend`] wraps the multi-threaded
 //! brute-force scan, [`IvfBackend`] wraps the tangent-space IVF quantiser,
-//! and [`IndexBackend`] is the configuration enum callers use to pick one.
+//! [`HnswBackend`] wraps the incremental navigable-small-world graph, and
+//! [`IndexBackend`] is the configuration enum callers use to pick one.
 //! Everything downstream — `IndexSet`, the retrieval engine, the serving
 //! benchmarks — works against the trait, so exact and approximate backends
-//! are interchangeable end to end and new backends (HNSW, sharded scans)
-//! only have to implement `AnnIndex`.
+//! are interchangeable end to end and new backends (quantised postings,
+//! sharded scans) only have to implement `AnnIndex`.
 
 use crate::brute::{build_exact_index, InvertedIndex, Postings};
+use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::ivf::{IvfConfig, IvfIndex};
 use crate::points::MixedPointSet;
 
@@ -177,6 +179,58 @@ impl AnnIndex for IvfBackend {
     }
 }
 
+/// The HNSW backend: a hierarchical navigable-small-world graph whose
+/// insertion path *is* its construction path — the one backend whose
+/// [`AnnIndex::insert`] genuinely extends the resident index structure
+/// instead of appending to a rescanned buffer or a frozen quantisation.
+#[derive(Debug, Clone)]
+pub struct HnswBackend {
+    index: HnswIndex,
+}
+
+impl HnswBackend {
+    /// Build a graph over a candidate set by streaming every point through
+    /// the insert path.
+    pub fn new(candidates: MixedPointSet, config: HnswConfig) -> Self {
+        HnswBackend {
+            index: HnswIndex::build(candidates, config),
+        }
+    }
+
+    /// The underlying graph (level diagnostics, link inspection).
+    pub fn hnsw(&self) -> &HnswIndex {
+        &self.index
+    }
+}
+
+impl AnnIndex for HnswBackend {
+    fn backend_name(&self) -> &'static str {
+        "hnsw"
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// HNSW inserts natively: each point is wired into the resident graph
+    /// through the same code path a bulk build uses (see
+    /// [`HnswIndex::insert`]).
+    fn insert(&mut self, added: &MixedPointSet) -> bool {
+        self.index.insert(added);
+        true
+    }
+
+    fn search(
+        &self,
+        query: &[f64],
+        query_weight: &[f64],
+        k: usize,
+        exclude_id: Option<u32>,
+    ) -> Postings {
+        self.index.search(query, query_weight, k, exclude_id)
+    }
+}
+
 /// Backend selection carried by index-build configurations.
 ///
 /// The enum is the *configuration* surface (plain data, `Copy`); the
@@ -192,6 +246,9 @@ pub enum IndexBackend {
     Exact,
     /// Approximate inverted-file search with the given configuration.
     Ivf(IvfConfig),
+    /// Approximate hierarchical navigable-small-world graph search with
+    /// the given configuration — the natively incremental backend.
+    Hnsw(HnswConfig),
 }
 
 impl IndexBackend {
@@ -200,6 +257,7 @@ impl IndexBackend {
         match self {
             IndexBackend::Exact => "exact",
             IndexBackend::Ivf(_) => "ivf",
+            IndexBackend::Hnsw(_) => "hnsw",
         }
     }
 
@@ -210,6 +268,7 @@ impl IndexBackend {
         match *self {
             IndexBackend::Exact => Box::new(ExactBackend::new(candidates, threads)),
             IndexBackend::Ivf(config) => Box::new(IvfBackend::new(candidates, config)),
+            IndexBackend::Hnsw(config) => Box::new(HnswBackend::new(candidates, config)),
         }
     }
 
@@ -278,23 +337,31 @@ mod tests {
     }
 
     #[test]
-    fn backend_enum_instantiates_both_backends() {
+    fn backend_enum_instantiates_every_backend() {
         let cands = random_set(30, 5);
         let exact = IndexBackend::Exact.instantiate(cands.clone(), 2);
         assert_eq!(exact.backend_name(), "exact");
         assert_eq!(exact.len(), 30);
-        let ivf = IndexBackend::Ivf(IvfConfig::default()).instantiate(cands, 1);
+        let ivf = IndexBackend::Ivf(IvfConfig::default()).instantiate(cands.clone(), 1);
         assert_eq!(ivf.backend_name(), "ivf");
         assert_eq!(ivf.len(), 30);
         assert!(!ivf.is_empty());
+        let hnsw = IndexBackend::Hnsw(HnswConfig::default()).instantiate(cands, 1);
+        assert_eq!(hnsw.backend_name(), "hnsw");
+        assert_eq!(hnsw.len(), 30);
         assert_eq!(IndexBackend::default(), IndexBackend::Exact);
+        assert_eq!(IndexBackend::Hnsw(HnswConfig::default()).label(), "hnsw");
     }
 
     #[test]
     fn bulk_build_index_matches_the_instantiated_backend() {
         let keys = random_set(12, 8);
         let cands = random_set(40, 9);
-        for backend in [IndexBackend::Exact, IndexBackend::Ivf(IvfConfig::default())] {
+        for backend in [
+            IndexBackend::Exact,
+            IndexBackend::Ivf(IvfConfig::default()),
+            IndexBackend::Hnsw(HnswConfig::default()),
+        ] {
             let direct = backend.build_index(&keys, &cands, 5, false, 2);
             let via_trait = backend
                 .instantiate(cands.clone(), 2)
@@ -338,7 +405,7 @@ mod tests {
             nprobe: 5,
             seed: 8,
         });
-        let mut ivf = full_probe.instantiate(base, 1);
+        let mut ivf = full_probe.instantiate(base.clone(), 1);
         assert!(ivf.insert(&increment));
         assert_eq!(ivf.len(), union.len());
         for i in 0..keys.len() {
@@ -350,6 +417,21 @@ mod tests {
                 "full-probe IVF inserts must recall exactly"
             );
         }
+
+        // HNSW under saturation: the streaming insert extends the resident
+        // graph through the bulk-build code path, so inserted candidates
+        // are recalled exactly like rebuilt ones
+        let saturated = IndexBackend::Hnsw(HnswConfig::saturated(union.len()));
+        let mut hnsw = saturated.instantiate(base, 1);
+        assert!(hnsw.insert(&increment), "HNSW supports native inserts");
+        assert_eq!(hnsw.len(), union.len());
+        for i in 0..keys.len() {
+            assert_eq!(
+                hnsw.search(keys.point(i), keys.weight(i), 6, None),
+                rebuilt.search(keys.point(i), keys.weight(i), 6, None),
+                "saturated HNSW inserts must recall exactly"
+            );
+        }
     }
 
     #[test]
@@ -359,6 +441,7 @@ mod tests {
         for backend in [
             IndexBackend::Exact.instantiate(empty.clone(), 1),
             IndexBackend::Ivf(IvfConfig::default()).instantiate(empty.clone(), 1),
+            IndexBackend::Hnsw(HnswConfig::default()).instantiate(empty.clone(), 1),
         ] {
             assert!(backend.is_empty());
             assert!(backend.search(&[0.0, 0.0], &[1.0], 3, None).is_empty());

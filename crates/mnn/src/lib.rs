@@ -14,16 +14,36 @@
 //! * [`IvfBackend`] / [`IvfIndex`] — an inverted-file approximate index
 //!   whose coarse quantiser lives in the shared tangent space, with recall
 //!   measurement against the exact index ([`recall_at_k`]),
+//! * [`HnswBackend`] / [`HnswIndex`] — a hierarchical navigable-small-world
+//!   graph over the mixed-curvature metric itself: sub-linear search with a
+//!   tunable beam (`ef_search`), and the one backend whose incremental
+//!   `insert` is literally its construction path,
 //! * [`IndexBackend`] — the configuration enum downstream code uses to
-//!   select a backend (`Exact` or `Ivf(IvfConfig)`).
+//!   select a backend (`Exact`, `Ivf(IvfConfig)` or `Hnsw(HnswConfig)`).
+//!
+//! ## Choosing a backend
+//!
+//! | backend | search cost | recall | knobs | incremental `insert` |
+//! |---|---|---|---|---|
+//! | `Exact` | O(n) per query, threaded bulk builds | 1.0 by definition | `threads` | append + rescan (trivially exact) |
+//! | `Ivf` | O(n/clusters × nprobe) | high, tunable | `num_clusters`, `nprobe` | nearest-centroid assignment (quantisation frozen) |
+//! | `Hnsw` | ~O(log n) greedy + `ef_search` beam | high, tunable | `m`, `ef_construction`, `ef_search` | native — insertion *is* construction |
+//!
+//! Both approximate backends have a saturation point at which they become
+//! exhaustive and bit-identical to the exact scan: probing every IVF
+//! cluster (`nprobe == num_clusters`), or an HNSW beam and degree at the
+//! corpus size ([`HnswConfig::saturated`]). The parity suites in
+//! `tests/backend_parity.rs` pin both.
 
 pub mod backend;
 pub mod brute;
+pub mod hnsw;
 pub mod ivf;
 pub mod points;
 
-pub use backend::{AnnIndex, ExactBackend, IndexBackend, IvfBackend};
+pub use backend::{AnnIndex, ExactBackend, HnswBackend, IndexBackend, IvfBackend};
 pub use brute::{build_exact_index, InvertedIndex, Postings};
+pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{recall_at_k, IvfConfig, IvfIndex};
 pub use points::MixedPointSet;
 

@@ -1,8 +1,12 @@
-//! Backend-parity properties: the IVF backend degrades gracefully from
-//! "identical to exact" (full probing) to "high recall" (partial probing).
+//! Backend-parity properties: the approximate backends degrade gracefully
+//! from "identical to exact" (full probing / saturated graphs) to "high
+//! recall" (partial probing / narrow beams), and the HNSW graph built
+//! incrementally is the graph built in bulk.
 
 use amcad_manifold::{ProductManifold, SubspaceSpec};
-use amcad_mnn::{recall_at_k, AnnIndex, ExactBackend, IndexBackend, IvfConfig, MixedPointSet};
+use amcad_mnn::{
+    recall_at_k, AnnIndex, ExactBackend, HnswConfig, IndexBackend, IvfConfig, MixedPointSet,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +63,42 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The HNSW analogue of full probing: with `m` and both beam widths
+    /// at the corpus size the graph is complete and the beam exhaustive,
+    /// so posting lists must be identical to the exact backend's (same
+    /// ids, same distances) for any point set and key set — with and
+    /// without self-exclusion.
+    #[test]
+    fn saturated_hnsw_equals_exact(
+        seed in 0u64..1_000,
+        n_cands in 20usize..100,
+        n_keys in 5usize..20,
+        k in 1usize..8,
+        exclude_bit in 0u32..2,
+    ) {
+        let exclude = exclude_bit == 1;
+        let cands = random_set(n_cands, seed);
+        let keys = random_set(n_keys, seed.wrapping_add(1));
+
+        let exact = ExactBackend::new(cands.clone(), 1).build_index(&keys, k, exclude);
+        let hnsw = IndexBackend::Hnsw(HnswConfig::saturated(n_cands))
+            .instantiate(cands, 1)
+            .build_index(&keys, k, exclude);
+
+        prop_assert_eq!(exact.len(), hnsw.len());
+        for (key, exact_postings) in exact.iter() {
+            let hnsw_postings = hnsw.get(*key).expect("every key must be indexed");
+            prop_assert_eq!(
+                exact_postings, hnsw_postings,
+                "postings (ids and distances) must match for key {}", key
+            );
+        }
+    }
+}
+
 /// Partial probing on a well-seeded point set keeps recall@10 high: this
 /// is the quality bar that makes the IVF backend a usable serving option.
 #[test]
@@ -83,4 +123,71 @@ fn partial_probe_recall_at_10_is_at_least_0_8() {
         "IVF nprobe=6/16 should keep recall@10 >= 0.8, got {recall:.3}"
     );
     assert!(recall <= 1.0 + 1e-12);
+}
+
+/// The HNSW quality bar on the same property corpus: a wide (but far from
+/// saturated) beam keeps recall@10 ≥ 0.8 against the exact index.
+#[test]
+fn high_ef_hnsw_recall_at_10_is_at_least_0_8() {
+    let cands = random_set(400, 42);
+    let keys = random_set(60, 43);
+    let k = 10;
+
+    let exact = ExactBackend::new(cands.clone(), 2).build_index(&keys, k, false);
+    let hnsw = IndexBackend::Hnsw(HnswConfig {
+        m: 16,
+        ef_construction: 100,
+        ef_search: 128,
+        seed: 44,
+    })
+    .instantiate(cands, 1)
+    .build_index(&keys, k, false);
+
+    let recall = recall_at_k(&hnsw, &exact, k);
+    assert!(
+        recall >= 0.8,
+        "HNSW ef_search=128 should keep recall@10 >= 0.8, got {recall:.3}"
+    );
+    assert!(recall <= 1.0 + 1e-12);
+    // exclude_id is honoured through the trait path
+    let set = random_set(50, 45);
+    let backend = IndexBackend::Hnsw(HnswConfig::default()).instantiate(set.clone(), 1);
+    for i in 0..set.len() {
+        let id = set.id(i);
+        let hits = backend.search(set.point(i), set.weight(i), 5, Some(id));
+        assert!(hits.iter().all(|(c, _)| *c != id));
+    }
+}
+
+/// The incremental seam: a graph grown by `insert`ing points one at a time
+/// through the `AnnIndex` trait is *the same graph* a bulk build produces
+/// (same deterministic level draws, same code path), so every search — not
+/// just high-recall ones — returns identical results.
+#[test]
+fn hnsw_insert_one_at_a_time_equals_bulk_build() {
+    let union = random_set(120, 46);
+    let keys = random_set(25, 47);
+    let config = HnswConfig {
+        m: 8,
+        ef_construction: 32,
+        ef_search: 24,
+        seed: 48,
+    };
+    let bulk = IndexBackend::Hnsw(config).instantiate(union.clone(), 1);
+    let manifold = union.manifold().clone();
+    let mut streamed =
+        IndexBackend::Hnsw(config).instantiate(MixedPointSet::new(manifold.clone()), 1);
+    for i in 0..union.len() {
+        let mut one = MixedPointSet::new(manifold.clone());
+        one.push(union.id(i), union.point(i), union.weight(i));
+        assert!(streamed.insert(&one), "HNSW must accept streaming inserts");
+    }
+    assert_eq!(streamed.len(), bulk.len());
+    for i in 0..keys.len() {
+        assert_eq!(
+            streamed.search(keys.point(i), keys.weight(i), 10, None),
+            bulk.search(keys.point(i), keys.weight(i), 10, None),
+            "streamed and bulk-built graphs must answer identically (key {i})"
+        );
+    }
 }

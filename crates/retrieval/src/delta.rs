@@ -203,11 +203,13 @@ impl DeltaBuilder {
         );
         self.inputs.ads_qa.append(&delta.added_ads_qa);
         self.inputs.ads_ia.append(&delta.added_ads_ia);
+        // the key-side indices contain no ads: the next generation shares
+        // them pointer-identically (an Arc bump, not four index copies)
         Ok(IndexSet {
-            q2q: prev.q2q.clone(),
-            q2i: prev.q2i.clone(),
-            i2q: prev.i2q.clone(),
-            i2i: prev.i2i.clone(),
+            q2q: Arc::clone(&prev.q2q),
+            q2i: Arc::clone(&prev.q2i),
+            i2q: Arc::clone(&prev.i2q),
+            i2i: Arc::clone(&prev.i2i),
             q2a,
             i2a,
         })
@@ -537,7 +539,7 @@ impl ShardedDeltaBuilder {
 mod tests {
     use super::*;
     use crate::engine::{Request, RetrievalResponse};
-    use crate::test_fixtures::{random_points, tiny_inputs};
+    use crate::test_fixtures::{random_points, shared_points, tiny_inputs};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -640,13 +642,13 @@ mod tests {
         for case in 0..3u64 {
             let n_ads = 12 + case as u32 * 5;
             let inputs = IndexBuildInputs {
-                queries_qq: random_points(0..10, 100 + case),
-                queries_qi: random_points(0..10, 200 + case),
-                items_qi: random_points(100..130, 300 + case),
-                queries_qa: random_points(0..10, 400 + case),
+                queries_qq: shared_points(0..10, 100 + case),
+                queries_qi: shared_points(0..10, 200 + case),
+                items_qi: shared_points(100..130, 300 + case),
+                queries_qa: shared_points(0..10, 400 + case),
                 ads_qa: random_points(200..200 + n_ads, 500 + case),
-                items_ii: random_points(100..130, 600 + case),
-                items_ia: random_points(100..130, 700 + case),
+                items_ii: shared_points(100..130, 600 + case),
+                items_ia: shared_points(100..130, 700 + case),
                 ads_ia: random_points(200..200 + n_ads, 800 + case),
             };
             let top_k = 5 + (case as usize % 4);
@@ -770,6 +772,137 @@ mod tests {
                 gen2.shard(s).engine_shared(),
                 gen3.shard(s).engine_shared(),
             ));
+        }
+    }
+
+    /// The Arc-sharing property: the unchanging key side rides through
+    /// shards and delta generations as reference-count bumps, never as
+    /// copies — pointer identity proves it.
+    #[test]
+    fn key_side_indices_and_point_sets_are_shared_not_cloned() {
+        let inputs = tiny_inputs();
+        let config = IndexBuildConfig {
+            top_k: 6,
+            threads: 1,
+            ..Default::default()
+        };
+        // single-corpus delta: the next generation's key-side indices are
+        // the previous generation's, pointer-identically
+        let prev = IndexSet::build(&inputs, config).unwrap();
+        let mut builder = DeltaBuilder::new(inputs.clone(), config).unwrap();
+        let delta = make_delta(300..304, 11, vec![201]);
+        let next = builder.apply(&prev, &delta).unwrap();
+        assert!(Arc::ptr_eq(&prev.q2q, &next.q2q), "q2q must be shared");
+        assert!(Arc::ptr_eq(&prev.q2i, &next.q2i), "q2i must be shared");
+        assert!(Arc::ptr_eq(&prev.i2q, &next.i2q), "i2q must be shared");
+        assert!(Arc::ptr_eq(&prev.i2i, &next.i2i), "i2i must be shared");
+        // ... while the builder's key-side point sets still are the
+        // caller's (retire/append only touched the ad side)
+        assert!(Arc::ptr_eq(
+            &inputs.queries_qq,
+            &builder.inputs().queries_qq
+        ));
+        assert!(Arc::ptr_eq(&inputs.items_ia, &builder.inputs().items_ia));
+
+        // sharded: every shard's delta state points at the same key-side
+        // point sets — one copy per deployment, not one per shard
+        let shards = 4usize;
+        let mut sharded = ShardedDeltaBuilder::new(
+            &inputs,
+            ShardedEngine::builder().shards(shards).top_k(6).threads(1),
+        )
+        .unwrap();
+        for slot in &sharded.slots {
+            assert!(
+                Arc::ptr_eq(&inputs.queries_qq, &slot.builder.inputs().queries_qq),
+                "every shard must share the deployment's key point sets"
+            );
+            assert!(Arc::ptr_eq(
+                &inputs.items_ii,
+                &slot.builder.inputs().items_ii
+            ));
+        }
+        // ... and a delta keeps it that way on the shards it touches
+        let delta = make_delta(310..314, 13, Vec::new());
+        sharded.apply(&delta).unwrap();
+        for slot in &sharded.slots {
+            assert!(Arc::ptr_eq(
+                &inputs.queries_qa,
+                &slot.builder.inputs().queries_qa
+            ));
+        }
+    }
+
+    /// The HNSW acceptance property: at its saturation point the graph
+    /// search is exhaustive, so an HNSW-backed deployment serves
+    /// byte-identically (logical view) through a single engine, sharded
+    /// engines at 1 / 2 / 4 shards, a delta-published generation — and
+    /// all of them equal the exact backend.
+    #[test]
+    fn saturated_hnsw_serves_identically_single_sharded_and_delta_published() {
+        let inputs = tiny_inputs();
+        // 20 seed ads + 6 added: saturate well above the final corpus size
+        let backend = amcad_mnn::IndexBackend::Hnsw(amcad_mnn::HnswConfig::saturated(64));
+        let top_k = 6;
+        let exact = RetrievalEngine::builder()
+            .top_k(top_k)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        let single = RetrievalEngine::builder()
+            .backend(backend)
+            .top_k(top_k)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        let delta = make_delta(300..306, 55, vec![200, 207]);
+        let mut truth = inputs.clone();
+        delta.apply_to(&mut truth);
+        let requests: Vec<Request> = (0..12u32)
+            .map(|q| Request {
+                query: q % 10,
+                preclick_items: vec![100 + q, 110 + (q % 5)],
+            })
+            .collect();
+        for shards in [1usize, 2, 4] {
+            let topology = || {
+                ShardedEngine::builder()
+                    .shards(shards)
+                    .backend(backend)
+                    .top_k(top_k)
+                    .threads(1)
+                    .build_threads(1)
+            };
+            let sharded = topology().build(&inputs).unwrap();
+            let mut builder = ShardedDeltaBuilder::new(&inputs, topology()).unwrap();
+            let published = builder.apply(&delta).unwrap();
+            // post-delta ground truths, exact and HNSW
+            let exact_post = RetrievalEngine::builder()
+                .top_k(top_k)
+                .threads(1)
+                .build(&truth)
+                .unwrap();
+            let hnsw_post = RetrievalEngine::builder()
+                .backend(backend)
+                .top_k(top_k)
+                .threads(1)
+                .build(&truth)
+                .unwrap();
+            for request in &requests {
+                // pre-delta: single == sharded == exact
+                let want = logical(exact.retrieve(request));
+                assert_eq!(logical(single.retrieve(request)), want, "{shards} shards");
+                assert_eq!(logical(sharded.retrieve(request)), want, "{shards} shards");
+                // post-delta: the delta-published HNSW generation equals
+                // both from-scratch rebuilds
+                let want_post = logical(exact_post.retrieve(request));
+                assert_eq!(
+                    logical(published.retrieve(request)),
+                    want_post,
+                    "{shards} shards: delta-published HNSW diverged from exact"
+                );
+                assert_eq!(logical(hnsw_post.retrieve(request)), want_post);
+            }
         }
     }
 

@@ -30,7 +30,7 @@
 //! ```
 //!
 //! Compared to calling the bare retriever the engine adds: backend
-//! selection (exact or IVF — any [`amcad_mnn::AnnIndex`]), typed errors
+//! selection (exact, IVF or HNSW — any [`amcad_mnn::AnnIndex`]), typed errors
 //! instead of silent empty results, a batched
 //! [`RetrievalEngine::retrieve_batch`] entry point that deduplicates
 //! second-layer index scans across the batch, and per-request

@@ -6,6 +6,8 @@
 //! (queries / items / ads projected into the Q-Q, Q-I, Q-A, I-I and I-A
 //! spaces with their precomputed attention weights).
 
+use std::sync::Arc;
+
 use amcad_mnn::{IndexBackend, InvertedIndex, MixedPointSet};
 
 use crate::error::RetrievalError;
@@ -13,22 +15,32 @@ use crate::error::RetrievalError;
 /// Point sets needed to build all six indices.  Indices that swap key and
 /// candidate (Q2I / I2Q) share the same underlying edge space, so queries
 /// and items each appear once per space.
+///
+/// The key-side sets (queries and items) are behind [`Arc`]s because they
+/// are *replicated, not partitioned*, by every scale-out mechanism in the
+/// serving stack: a sharded build hands every shard the same key sets
+/// (only the ads split), and a delta publish never touches them at all.
+/// Cloning these inputs — per shard, per delta generation — therefore
+/// bumps six reference counts instead of copying six point sets. The
+/// ad-side sets stay plain: they are genuinely partitioned by
+/// [`crate::shard::shard_inputs`] and mutated in place by the delta
+/// append/retire lifecycle.
 #[derive(Debug, Clone)]
 pub struct IndexBuildInputs {
     /// Queries projected into the Q-Q edge space.
-    pub queries_qq: MixedPointSet,
+    pub queries_qq: Arc<MixedPointSet>,
     /// Queries projected into the Q-I edge space.
-    pub queries_qi: MixedPointSet,
+    pub queries_qi: Arc<MixedPointSet>,
     /// Items projected into the Q-I edge space.
-    pub items_qi: MixedPointSet,
+    pub items_qi: Arc<MixedPointSet>,
     /// Queries projected into the Q-A edge space.
-    pub queries_qa: MixedPointSet,
+    pub queries_qa: Arc<MixedPointSet>,
     /// Ads projected into the Q-A edge space.
     pub ads_qa: MixedPointSet,
     /// Items projected into the I-I edge space.
-    pub items_ii: MixedPointSet,
+    pub items_ii: Arc<MixedPointSet>,
     /// Items projected into the I-A edge space.
-    pub items_ia: MixedPointSet,
+    pub items_ia: Arc<MixedPointSet>,
     /// Ads projected into the I-A edge space.
     pub ads_ia: MixedPointSet,
 }
@@ -37,13 +49,13 @@ impl IndexBuildInputs {
     /// The eight point sets with their space names, in declaration order.
     pub(crate) fn spaces(&self) -> [(&'static str, &MixedPointSet); 8] {
         [
-            ("queries_qq", &self.queries_qq),
-            ("queries_qi", &self.queries_qi),
-            ("items_qi", &self.items_qi),
-            ("queries_qa", &self.queries_qa),
+            ("queries_qq", &*self.queries_qq),
+            ("queries_qi", &*self.queries_qi),
+            ("items_qi", &*self.items_qi),
+            ("queries_qa", &*self.queries_qa),
             ("ads_qa", &self.ads_qa),
-            ("items_ii", &self.items_ii),
-            ("items_ia", &self.items_ia),
+            ("items_ii", &*self.items_ii),
+            ("items_ia", &*self.items_ia),
             ("ads_ia", &self.ads_ia),
         ]
     }
@@ -69,7 +81,7 @@ pub struct IndexBuildConfig {
     pub top_k: usize,
     /// Worker threads for backends with a parallel bulk path.
     pub threads: usize,
-    /// ANN backend used to build every index (exact scan or IVF).
+    /// ANN backend used to build every index (exact scan, IVF or HNSW).
     pub backend: IndexBackend,
 }
 
@@ -84,16 +96,24 @@ impl Default for IndexBuildConfig {
 }
 
 /// The six inverted indices of the two-layer online retrieval system.
+///
+/// The four key-side indices (Q2Q, Q2I, I2Q, I2I) contain no ads, so a
+/// delta publish carries them across generations untouched — they are
+/// behind [`Arc`]s so "carries across" is a reference-count bump, not a
+/// deep copy of four inverted indices per touched shard per delta (the
+/// pointer identity is asserted by the delta test suite). The ad-side
+/// indices (Q2A, I2A) are the ones deltas genuinely rewrite and stay
+/// plain.
 #[derive(Debug, Clone)]
 pub struct IndexSet {
     /// Query → related queries.
-    pub q2q: InvertedIndex,
+    pub q2q: Arc<InvertedIndex>,
     /// Query → related items.
-    pub q2i: InvertedIndex,
+    pub q2i: Arc<InvertedIndex>,
     /// Item → related queries.
-    pub i2q: InvertedIndex,
+    pub i2q: Arc<InvertedIndex>,
     /// Item → related items.
-    pub i2i: InvertedIndex,
+    pub i2i: Arc<InvertedIndex>,
     /// Query → candidate ads.
     pub q2a: InvertedIndex,
     /// Item → candidate ads.
@@ -102,7 +122,8 @@ pub struct IndexSet {
 
 impl IndexSet {
     /// Build all six indices with the configured ANN backend (exact
-    /// multi-threaded MNN scan by default, IVF when selected). Inputs are
+    /// multi-threaded MNN scan by default, IVF or HNSW when selected).
+    /// Inputs are
     /// validated first: duplicate ids within any point set — which would
     /// silently overwrite posting lists and corrupt delta merges — are
     /// rejected as [`RetrievalError::DuplicateId`].
@@ -119,10 +140,10 @@ impl IndexSet {
                 .build_index(keys, candidates, k, exclude_same, t)
         };
         Ok(IndexSet {
-            q2q: build(&inputs.queries_qq, &inputs.queries_qq, true),
-            q2i: build(&inputs.queries_qi, &inputs.items_qi, false),
-            i2q: build(&inputs.items_qi, &inputs.queries_qi, false),
-            i2i: build(&inputs.items_ii, &inputs.items_ii, true),
+            q2q: Arc::new(build(&inputs.queries_qq, &inputs.queries_qq, true)),
+            q2i: Arc::new(build(&inputs.queries_qi, &inputs.items_qi, false)),
+            i2q: Arc::new(build(&inputs.items_qi, &inputs.queries_qi, false)),
+            i2i: Arc::new(build(&inputs.items_ii, &inputs.items_ii, true)),
             q2a: build(&inputs.queries_qa, &inputs.ads_qa, false),
             i2a: build(&inputs.items_ia, &inputs.ads_ia, false),
         })
@@ -141,11 +162,27 @@ impl IndexSet {
     /// Total number of postings across the six indices.
     pub fn total_postings(&self) -> usize {
         [
-            &self.q2q, &self.q2i, &self.i2q, &self.i2i, &self.q2a, &self.i2a,
+            &*self.q2q, &*self.q2i, &*self.i2q, &*self.i2i, &self.q2a, &self.i2a,
         ]
         .iter()
         .map(|idx| idx.iter().map(|(_, p)| p.len()).sum::<usize>())
         .sum()
+    }
+
+    /// Mean recall@`k` of this set's ad-side posting lists (Q2A and I2A)
+    /// against a reference set's — the quality axis of the approximate
+    /// backends' recall/latency frontier. An exact-backend set scores 1.0
+    /// against itself; approximate backends trade this number for build
+    /// (IVF, HNSW) and — via `ef_search` / `nprobe` — search work. Keys
+    /// are weighted equally across both indices.
+    pub fn ad_recall_against(&self, reference: &IndexSet, k: usize) -> f64 {
+        let (qn, inn) = (reference.q2a.len(), reference.i2a.len());
+        if qn + inn == 0 {
+            return 0.0;
+        }
+        let q = amcad_mnn::recall_at_k(&self.q2a, &reference.q2a, k);
+        let i = amcad_mnn::recall_at_k(&self.i2a, &reference.i2a, k);
+        (q * qn as f64 + i * inn as f64) / (qn + inn) as f64
     }
 }
 
@@ -230,6 +267,58 @@ mod tests {
     }
 
     #[test]
+    fn hnsw_backend_builds_all_six_indices_and_saturated_matches_exact() {
+        use amcad_mnn::HnswConfig;
+        let inputs = tiny_inputs();
+        let exact = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let hnsw = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                // saturate beyond the largest candidate set (40 items)
+                backend: IndexBackend::Hnsw(HnswConfig::saturated(64)),
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.total_keys(), hnsw.total_keys());
+        for (key, postings) in exact.q2a.iter() {
+            assert_eq!(hnsw.q2a.get(*key), Some(postings));
+        }
+        for (key, postings) in exact.i2i.iter() {
+            assert_eq!(hnsw.i2i.get(*key), Some(postings));
+        }
+        // saturated ad-side recall is exactly 1; exact against itself too
+        assert!((hnsw.ad_recall_against(&exact, 5) - 1.0).abs() < 1e-12);
+        assert!((exact.ad_recall_against(&exact, 5) - 1.0).abs() < 1e-12);
+        // a narrow-beam build is a genuine approximation but stays usable
+        let narrow = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                backend: IndexBackend::Hnsw(HnswConfig {
+                    m: 4,
+                    ef_construction: 8,
+                    ef_search: 6,
+                    seed: 3,
+                }),
+            },
+        )
+        .unwrap();
+        let recall = narrow.ad_recall_against(&exact, 5);
+        assert!((0.0..=1.0 + 1e-12).contains(&recall));
+    }
+
+    #[test]
     fn duplicate_ids_in_any_input_space_are_rejected_with_a_typed_error() {
         // a duplicate ad id would corrupt postings merges (and delta
         // merges): the build must fail fast, naming the space and the id
@@ -248,14 +337,15 @@ mod tests {
             }
         );
         // a duplicate key id silently overwrites a posting list — equally
-        // rejected, in whichever space it appears
+        // rejected, in whichever space it appears (key-side sets are
+        // shared, so the corruption is written through make_mut)
         let mut inputs = tiny_inputs();
         let i = inputs.queries_qq.index_of(3).unwrap();
         let (point, weight) = (
             inputs.queries_qq.point(i).to_vec(),
             inputs.queries_qq.weight(i).to_vec(),
         );
-        inputs.queries_qq.push(3, &point, &weight);
+        Arc::make_mut(&mut inputs.queries_qq).push(3, &point, &weight);
         assert_eq!(
             IndexSet::build(&inputs, IndexBuildConfig::default()).unwrap_err(),
             RetrievalError::DuplicateId {

@@ -43,11 +43,17 @@
 //!
 //! Below the triad sit the building blocks: [`IndexSet`] (the six
 //! inverted indices Q2Q, Q2I, I2Q, I2I, Q2A, I2A built offline with any
-//! [`amcad_mnn::AnnIndex`] backend — duplicate input ids are rejected
-//! with the typed [`RetrievalError::DuplicateId`]), [`TwoLayerRetriever`]
-//! (the bare layer logic), and [`ServingSimulator`] (an open-loop load
-//! generator measuring response time versus offered QPS, Fig. 9, over
-//! any [`Retrieve`] implementation).
+//! [`amcad_mnn::AnnIndex`] backend — exact scan, IVF or HNSW; duplicate
+//! input ids are rejected with the typed
+//! [`RetrievalError::DuplicateId`]), [`TwoLayerRetriever`] (the bare
+//! layer logic), and [`ServingSimulator`] (an open-loop load generator
+//! measuring response time versus offered QPS, Fig. 9, over any
+//! [`Retrieve`] implementation). See `src/README.md` for the backend
+//! taxonomy (when to pick which, tuning knobs, incremental-insert
+//! support). The unchanging key side is `Arc`-shared everywhere it is
+//! replicated: [`IndexBuildInputs`] hands every shard the same key
+//! point sets, and [`IndexSet`] carries its key-side indices across
+//! delta generations pointer-identically.
 //!
 //! ## Serving with shards, replicas and zero-downtime updates
 //!
@@ -160,15 +166,23 @@ pub(crate) mod test_fixtures {
         set
     }
 
+    /// [`random_points`] wrapped for the shared key-side input fields.
+    pub(crate) fn shared_points(
+        ids: std::ops::Range<u32>,
+        seed: u64,
+    ) -> std::sync::Arc<MixedPointSet> {
+        std::sync::Arc::new(random_points(ids, seed))
+    }
+
     pub(crate) fn tiny_inputs() -> IndexBuildInputs {
         IndexBuildInputs {
-            queries_qq: random_points(0..10, 1),
-            queries_qi: random_points(0..10, 2),
-            items_qi: random_points(100..140, 3),
-            queries_qa: random_points(0..10, 4),
+            queries_qq: shared_points(0..10, 1),
+            queries_qi: shared_points(0..10, 2),
+            items_qi: shared_points(100..140, 3),
+            queries_qa: shared_points(0..10, 4),
             ads_qa: random_points(200..220, 5),
-            items_ii: random_points(100..140, 6),
-            items_ia: random_points(100..140, 7),
+            items_ii: shared_points(100..140, 6),
+            items_ia: shared_points(100..140, 7),
             ads_ia: random_points(200..220, 8),
         }
     }

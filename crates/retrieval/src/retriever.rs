@@ -384,7 +384,7 @@ pub(crate) fn score_candidates(
 mod tests {
     use super::*;
     use crate::index_set::{IndexBuildConfig, IndexSet};
-    use crate::test_fixtures::{random_points, tiny_inputs};
+    use crate::test_fixtures::{random_points, shared_points, tiny_inputs};
 
     fn retriever() -> TwoLayerRetriever {
         let indexes = IndexSet::build(
@@ -533,13 +533,13 @@ mod tests {
         // real candidate — and the total_cmp sorts stay panic-free where
         // partial_cmp().unwrap() used to abort the serving path.
         let inputs = crate::index_set::IndexBuildInputs {
-            queries_qq: random_points(0..3, 11),
-            queries_qi: random_points(0..3, 12),
-            items_qi: random_points(100..110, 13),
-            queries_qa: random_points(0..3, 14),
+            queries_qq: shared_points(0..3, 11),
+            queries_qi: shared_points(0..3, 12),
+            items_qi: shared_points(100..110, 13),
+            queries_qa: shared_points(0..3, 14),
             ads_qa: random_points(200..210, 15),
-            items_ii: random_points(100..110, 16),
-            items_ia: random_points(100..110, 17),
+            items_ii: shared_points(100..110, 16),
+            items_ia: shared_points(100..110, 17),
             ads_ia: random_points(200..210, 18),
         };
         let mut indexes = IndexSet::build(

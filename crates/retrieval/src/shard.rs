@@ -98,8 +98,11 @@ pub fn ad_shard(ad: u32, shards: usize) -> usize {
 
 /// Split index-build inputs into per-shard inputs: ads hash-partitioned by
 /// [`ad_shard`], queries and items replicated so every shard can expand
-/// keys locally. A shard may end up with no ads at all (tiny corpora);
-/// [`ShardedEngineBuilder::build`] skips such shards at build time.
+/// keys locally — the replication is an [`Arc`] bump per shard, every
+/// shard's key-side fields point at the *same* point sets (asserted by
+/// the tests in this module). A shard may end up with no ads at all (tiny
+/// corpora); [`ShardedEngineBuilder::build`] skips such shards at build
+/// time.
 pub fn shard_inputs(inputs: &IndexBuildInputs, shards: usize) -> Vec<IndexBuildInputs> {
     let ads_qa = inputs
         .ads_qa
@@ -111,13 +114,13 @@ pub fn shard_inputs(inputs: &IndexBuildInputs, shards: usize) -> Vec<IndexBuildI
         .into_iter()
         .zip(ads_ia)
         .map(|(ads_qa, ads_ia)| IndexBuildInputs {
-            queries_qq: inputs.queries_qq.clone(),
-            queries_qi: inputs.queries_qi.clone(),
-            items_qi: inputs.items_qi.clone(),
-            queries_qa: inputs.queries_qa.clone(),
+            queries_qq: Arc::clone(&inputs.queries_qq),
+            queries_qi: Arc::clone(&inputs.queries_qi),
+            items_qi: Arc::clone(&inputs.items_qi),
+            queries_qa: Arc::clone(&inputs.queries_qa),
             ads_qa,
-            items_ii: inputs.items_ii.clone(),
-            items_ia: inputs.items_ia.clone(),
+            items_ii: Arc::clone(&inputs.items_ii),
+            items_ia: Arc::clone(&inputs.items_ia),
             ads_ia,
         })
         .collect()
@@ -736,7 +739,7 @@ impl Retrieve for ShardedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::{random_points, tiny_inputs};
+    use crate::test_fixtures::{random_points, shared_points, tiny_inputs};
     use amcad_mnn::{IndexBackend, IvfConfig, MixedPointSet};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -809,6 +812,14 @@ mod tests {
         for (s, part) in parts.iter().enumerate() {
             assert_eq!(part.queries_qq.ids(), inputs.queries_qq.ids());
             assert_eq!(part.items_ii.ids(), inputs.items_ii.ids());
+            // the replication is an Arc bump: every shard's key-side
+            // fields alias the caller's point sets, no copies
+            assert!(Arc::ptr_eq(&part.queries_qq, &inputs.queries_qq));
+            assert!(Arc::ptr_eq(&part.queries_qi, &inputs.queries_qi));
+            assert!(Arc::ptr_eq(&part.items_qi, &inputs.items_qi));
+            assert!(Arc::ptr_eq(&part.queries_qa, &inputs.queries_qa));
+            assert!(Arc::ptr_eq(&part.items_ii, &inputs.items_ii));
+            assert!(Arc::ptr_eq(&part.items_ia, &inputs.items_ia));
             // both ad spaces of one shard hold the same ad ids
             let mut qa: Vec<u32> = part.ads_qa.ids().to_vec();
             let mut ia: Vec<u32> = part.ads_ia.ids().to_vec();
@@ -831,13 +842,13 @@ mod tests {
         for case in 0..12u64 {
             let n_ads = 3 + (case as u32 % 20); // includes corpora smaller than the shard count
             let inputs = IndexBuildInputs {
-                queries_qq: random_points(0..10, 100 + case),
-                queries_qi: random_points(0..10, 200 + case),
-                items_qi: random_points(100..130, 300 + case),
-                queries_qa: random_points(0..10, 400 + case),
+                queries_qq: shared_points(0..10, 100 + case),
+                queries_qi: shared_points(0..10, 200 + case),
+                items_qi: shared_points(100..130, 300 + case),
+                queries_qa: shared_points(0..10, 400 + case),
                 ads_qa: random_points(200..200 + n_ads, 500 + case),
-                items_ii: random_points(100..130, 600 + case),
-                items_ia: random_points(100..130, 700 + case),
+                items_ii: shared_points(100..130, 600 + case),
+                items_ia: shared_points(100..130, 700 + case),
                 ads_ia: random_points(200..200 + n_ads, 800 + case),
             };
             let top_k = 4 + (case as usize % 8);
@@ -874,13 +885,13 @@ mod tests {
         for case in 0..4u64 {
             let n_ads = 5 + (case as u32 * 7);
             let inputs = IndexBuildInputs {
-                queries_qq: random_points(0..10, 10 + case),
-                queries_qi: random_points(0..10, 20 + case),
-                items_qi: random_points(100..130, 30 + case),
-                queries_qa: random_points(0..10, 40 + case),
+                queries_qq: shared_points(0..10, 10 + case),
+                queries_qi: shared_points(0..10, 20 + case),
+                items_qi: shared_points(100..130, 30 + case),
+                queries_qa: shared_points(0..10, 40 + case),
                 ads_qa: random_points(200..200 + n_ads, 50 + case),
-                items_ii: random_points(100..130, 60 + case),
-                items_ia: random_points(100..130, 70 + case),
+                items_ii: shared_points(100..130, 60 + case),
+                items_ia: shared_points(100..130, 70 + case),
                 ads_ia: random_points(200..200 + n_ads, 80 + case),
             };
             for shards in [1usize, 2, 4, 7] {

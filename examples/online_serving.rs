@@ -18,7 +18,7 @@
 
 use amcad::core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad::eval::TextTable;
-use amcad::mnn::{IndexBackend, IvfConfig};
+use amcad::mnn::{HnswConfig, IndexBackend, IvfConfig};
 use amcad::retrieval::{
     CoverageSource, Request, RetrievalEngine, Retrieve, ServingConfig, ServingSimulator,
     ShardedEngine,
@@ -94,6 +94,11 @@ fn main() {
         .backend(IndexBackend::Ivf(IvfConfig::default()))
         .build(&inputs)
         .expect("pipeline inputs build a valid engine");
+    let hnsw_engine = RetrievalEngine::builder()
+        .index(*result.engine.index_config())
+        .backend(IndexBackend::Hnsw(HnswConfig::default()))
+        .build(&inputs)
+        .expect("pipeline inputs build a valid engine");
     let sharded: Vec<ShardedEngine> = [2usize, 4]
         .into_iter()
         .map(|shards| {
@@ -122,6 +127,10 @@ fn main() {
         ),
         (format!("{} x1", ivf_engine.backend().label()), &ivf_engine),
         (
+            format!("{} x1", hnsw_engine.backend().label()),
+            &hnsw_engine,
+        ),
+        (
             format!("exact x{} shards", sharded[0].num_shards()),
             &sharded[0],
         ),
@@ -138,15 +147,13 @@ fn main() {
             &replicated,
         ),
     ];
+    let serving = ServingConfig {
+        workers: 4,
+        requests_per_level: 1_500,
+        batch_size: 8,
+    };
     for (label, engine) in topologies {
-        let sim = ServingSimulator::new(
-            engine,
-            ServingConfig {
-                workers: 4,
-                requests_per_level: 1_500,
-                batch_size: 8,
-            },
-        );
+        let sim = ServingSimulator::new(engine, serving);
         let reports = sim.sweep(&requests, &[1_000.0, 5_000.0, 20_000.0, 80_000.0]);
         let mut table = TextTable::new(vec![
             "Offered QPS",
@@ -169,6 +176,48 @@ fn main() {
     println!("Sharded topologies return bit-identical rankings to the single exact engine;");
     println!("the per-request fan-out trades a little latency for an N-way split of the");
     println!("ad-side index build and memory (see table9_scalability for the build times).\n");
+
+    // Backend selection demo: the same embeddings behind the exact scan
+    // and HNSW graphs at two beam widths — recall of the ad-side posting
+    // lists against exact next to the serving latency each index yields.
+    let top_k = result.engine.index_config().top_k;
+    println!("== Backend selection: exact vs HNSW (recall vs latency) ==\n");
+    let mut backend_table = TextTable::new(vec![
+        "Backend",
+        "Knob",
+        "Recall@top_k",
+        "Mean (ms)",
+        "p95 (ms)",
+    ]);
+    let narrow_hnsw = RetrievalEngine::builder()
+        .index(*result.engine.index_config())
+        .backend(IndexBackend::Hnsw(HnswConfig::default().with_ef_search(4)))
+        .build(&inputs)
+        .expect("pipeline inputs build a valid engine");
+    let comparisons: [(&str, &str, &RetrievalEngine); 3] = [
+        ("exact", "-", &result.engine),
+        ("hnsw", "ef=4", &narrow_hnsw),
+        ("hnsw", "ef=48", &hnsw_engine),
+    ];
+    for (label, knob, engine) in comparisons {
+        let recall = engine
+            .indexes()
+            .ad_recall_against(result.engine.indexes(), top_k);
+        let report = ServingSimulator::new(engine, serving).run_level(&requests, 20_000.0);
+        backend_table.row(vec![
+            label.to_string(),
+            knob.to_string(),
+            format!("{recall:.3}"),
+            format!("{:.3}", report.mean_ms),
+            format!("{:.3}", report.p95_ms),
+        ]);
+    }
+    println!("{}", backend_table.render());
+    println!("HNSW builds its posting lists by walking a small-world graph instead of");
+    println!("scanning every ad per key: ef_search widens the walk — higher recall of the");
+    println!("exact neighbours, more build work — while serving reads the same-shaped");
+    println!("posting lists either way. It is also the backend whose `insert` genuinely");
+    println!("extends a resident index (insertion *is* construction).\n");
 
     // Failover: kill one replica of shard 0 — traffic reroutes to its
     // sibling with the ranking untouched; kill the sibling too and the
