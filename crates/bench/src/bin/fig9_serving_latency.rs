@@ -15,6 +15,7 @@
 //! entry point), and the latency ladder reports p50 / p90 / p95 / p99:
 //! the saturation knee shows in the upper deciles before the median.
 
+use amcad_bench::json::{write_bench_json, Json};
 use amcad_bench::Scale;
 use amcad_core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad_eval::TextTable;
@@ -52,6 +53,27 @@ fn latency_table(reports: &[LoadReport]) -> TextTable {
         ]);
     }
     table
+}
+
+fn levels_json(reports: &[LoadReport]) -> Json {
+    Json::Arr(
+        reports
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("offered_qps", Json::from(r.offered_qps)),
+                    ("completed", Json::from(r.completed)),
+                    ("achieved_qps", Json::from(r.achieved_qps)),
+                    ("mean_ms", Json::from(r.mean_ms)),
+                    ("p50_ms", Json::from(r.p50_ms)),
+                    ("p90_ms", Json::from(r.p90_ms)),
+                    ("p95_ms", Json::from(r.p95_ms)),
+                    ("p99_ms", Json::from(r.p99_ms)),
+                    ("no_coverage", Json::from(r.no_coverage)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn main() {
@@ -104,6 +126,7 @@ fn main() {
     };
 
     let mut approx_engine: Option<RetrievalEngine> = None;
+    let mut backends_json: Vec<Json> = Vec::new();
     for backend in backends {
         // the pipeline already built the exact engine with this exact
         // index/retrieval config — reuse it instead of re-running the
@@ -123,18 +146,17 @@ fn main() {
 
         // quality context for the approximate backends: recall of their
         // ad-side (Q2A + I2A) posting lists against the exact engine's
-        let recall_note = match backend {
-            IndexBackend::Exact => String::new(),
-            _ => {
-                let recall = engine
+        let recall = match backend {
+            IndexBackend::Exact => None,
+            _ => Some(
+                engine
                     .indexes()
-                    .ad_recall_against(result.engine.indexes(), index_config.top_k);
-                format!(
-                    " (ad-side recall@{} vs exact: {recall:.3})",
-                    index_config.top_k
-                )
-            }
+                    .ad_recall_against(result.engine.indexes(), index_config.top_k),
+            ),
         };
+        let recall_note = recall.map_or(String::new(), |r| {
+            format!(" (ad-side recall@{} vs exact: {r:.3})", index_config.top_k)
+        });
         println!("-- backend: {}{recall_note}", backend.label());
 
         // serve the production way: workers hit the hot-swappable handle,
@@ -143,6 +165,11 @@ fn main() {
         let sim = ServingSimulator::new(&handle, serving);
         let reports = sim.sweep(&requests, &qps_levels);
         println!("{}", latency_table(&reports).render());
+        backends_json.push(Json::obj(vec![
+            ("backend", Json::from(backend.label())),
+            ("recall_vs_exact", recall.map_or(Json::Null, Json::from)),
+            ("levels", levels_json(&reports)),
+        ]));
     }
 
     // -- The cluster topology: 2 shards × 2 replicas, parallel fan-out ----
@@ -170,6 +197,7 @@ fn main() {
     let handle = EngineHandle::from_arc(sharded.clone());
     let reports = ServingSimulator::new(&handle, serving).sweep(&requests, &qps_levels);
     println!("{}", latency_table(&reports).render());
+    let healthy_levels = levels_json(&reports);
     let healthy_serves = sharded.replica_serves();
     for shard in 0..sharded.active_shards() {
         sharded.fail_replica(shard, 1);
@@ -188,6 +216,37 @@ fn main() {
     println!(
         "requests routed per replica per shard since the kill: {routed_after_kill:?} — killed replicas received zero.\n"
     );
+
+    let json_path = write_bench_json(
+        "fig9",
+        &Json::obj(vec![
+            ("bench", Json::from("fig9_serving_latency")),
+            ("scale", Json::from(scale.label())),
+            ("backends", Json::Arr(backends_json)),
+            (
+                "topology",
+                Json::obj(vec![
+                    ("shards", Json::from(sharded.num_shards())),
+                    ("replicas", Json::from(sharded.replicas())),
+                    ("healthy", healthy_levels),
+                    ("failover", levels_json(&reports)),
+                    (
+                        "routed_since_kill",
+                        Json::Arr(
+                            routed_after_kill
+                                .iter()
+                                .map(|per_shard| {
+                                    Json::Arr(per_shard.iter().map(|&n| Json::from(n)).collect())
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ]),
+    )
+    .expect("the bench artefact writes");
+    println!("Machine-readable artefact: {}\n", json_path.display());
 
     println!("Paper (Fig. 9): response time grows from ≈1.2 ms at 1K QPS to ≈4.5 ms at 50K QPS —");
     println!("a ten-fold QPS increase only roughly doubles latency until saturation.");

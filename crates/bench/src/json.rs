@@ -1,0 +1,241 @@
+//! A minimal JSON emitter for machine-readable bench artefacts.
+//!
+//! The experiment binaries render human-readable text tables *and* write
+//! the same numbers as `BENCH_<name>.json` so CI (and notebooks) can
+//! diff runs without scraping stdout. The workspace's `serde` is a
+//! deliberate no-op stub, so this is a small hand-rolled tree: build a
+//! [`Json`] value, [`write_bench_json`] it. Output is pretty-printed,
+//! keys stay in insertion order, and non-finite floats render as `null`
+//! (JSON has no NaN/∞).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value. Construct via the `From` impls and [`Json::obj`] /
+/// [`Json::arr`]; object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite floats render as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// A float, rendered with a decimal point (`3.0`, not `3`).
+    Num(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, keys kept in order.
+    pub fn obj(pairs: Vec<(&'static str, impl Into<Json>)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k, v.into())).collect())
+    }
+
+    /// An array from anything convertible to values.
+    pub fn arr(items: Vec<impl Into<Json>>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Pretty-printed JSON text (two-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(f) => {
+                if f.is_finite() {
+                    // {:?} gives the shortest representation that parses
+                    // back to the same f64, always with a decimal point
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write a bench artefact as `BENCH_<name>.json` into the directory named
+/// by `AMCAD_BENCH_OUT` (default: the current directory) and return the
+/// path. CI uploads these files as run artefacts.
+pub fn write_bench_json(name: &str, json: &Json) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(std::env::var("AMCAD_BENCH_OUT").unwrap_or_else(|_| ".".to_string()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json.render())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_render_as_valid_json_with_ordered_keys() {
+        let json = Json::obj(vec![
+            ("name", Json::from("table9")),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj(vec![
+                    ("shards", Json::from(4usize)),
+                    ("speedup", Json::from(2.5)),
+                    ("exact", Json::from(true)),
+                ])]),
+            ),
+            ("empty", Json::Arr(vec![])),
+            ("none", Json::Null),
+        ]);
+        let text = json.render();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"table9\",\n  \"rows\": [\n    {\n      \"shards\": 4,\n      \"speedup\": 2.5,\n      \"exact\": true\n    }\n  ],\n  \"empty\": [],\n  \"none\": null\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_keep_their_decimal_point_and_non_finite_becomes_null() {
+        assert_eq!(Json::from(3.0).render(), "3.0\n");
+        assert_eq!(Json::from(0.1).render(), "0.1\n");
+        assert_eq!(Json::from(f64::NAN).render(), "null\n");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null\n");
+        assert_eq!(Json::from(42i64).render(), "42\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::from("a \"quoted\"\\\npath\tand \u{1} control");
+        assert_eq!(
+            s.render(),
+            "\"a \\\"quoted\\\"\\\\\\npath\\tand \\u0001 control\"\n"
+        );
+    }
+}

@@ -19,6 +19,8 @@
 
 use std::time::Instant;
 
+pub mod json;
+
 use amcad_core::{evaluate_offline, EvalConfig, OfflineMetrics};
 use amcad_datagen::{Dataset, WorldConfig};
 use amcad_model::{

@@ -1,8 +1,10 @@
 //! No-op offline stand-in for serde's derive macros.
 //!
-//! The workspace only *derives* `Serialize` / `Deserialize` (as forward
-//! compatibility for snapshotting) and never calls serde's runtime, so the
-//! derives expand to nothing.
+//! The workspace only *derives* `Serialize` / `Deserialize` and never
+//! calls serde's runtime, so the derives expand to nothing. Snapshot
+//! persistence does **not** go through serde: the durable snapshot store
+//! (`amcad_retrieval::store`) hand-rolls its versioned, checksummed
+//! binary format precisely so it works offline with this stub in place.
 
 use proc_macro::TokenStream;
 

@@ -162,6 +162,31 @@ impl VisitedSet {
     }
 }
 
+/// The full resident state of an [`HnswIndex`], exported for durable
+/// snapshots: the candidate set, the configuration, the level-sampling
+/// RNG state, and the graph itself (entry point, node levels, links).
+///
+/// The RNG *state* — not the seed — is what makes the round trip exact
+/// for a live index: the resident generator has already advanced past
+/// one draw per inserted node, so a restored index continues the same
+/// level sequence and post-restart [`HnswIndex::insert`]s build the
+/// graph an uninterrupted process would have built, bit for bit.
+#[derive(Debug, Clone)]
+pub struct HnswState {
+    /// The indexed candidate set.
+    pub candidates: MixedPointSet,
+    /// The configuration the graph was built with.
+    pub config: HnswConfig,
+    /// The level-sampling RNG's internal state (xoshiro256++ words).
+    pub rng_state: [u64; 4],
+    /// Slot of the entry point; `None` iff the index is empty.
+    pub entry: Option<usize>,
+    /// Top layer of each node, one entry per candidate.
+    pub node_level: Vec<usize>,
+    /// `links[slot][layer]` — neighbour slots per node per layer.
+    pub links: Vec<Vec<Vec<u32>>>,
+}
+
 /// An HNSW graph over a candidate point set (see the module docs).
 #[derive(Debug, Clone)]
 pub struct HnswIndex {
@@ -222,6 +247,45 @@ impl HnswIndex {
             self.candidates
                 .push(added.id(p), added.point(p), added.weight(p));
             self.insert_slot(slot);
+        }
+    }
+
+    /// Export the full resident state for a durable snapshot — see
+    /// [`HnswState`] for why the RNG state (not the seed) is captured.
+    pub fn export_state(&self) -> HnswState {
+        HnswState {
+            candidates: self.candidates.clone(),
+            config: self.config,
+            rng_state: self.rng.state(),
+            entry: self.entry,
+            node_level: self.node_level.clone(),
+            links: self.links.clone(),
+        }
+    }
+
+    /// Rebuild an index from an exported [`HnswState`]. The restored
+    /// index searches identically to the saved one, and — because the
+    /// RNG resumes mid-stream — subsequent [`HnswIndex::insert`]s extend
+    /// the graph exactly as the never-saved index would have.
+    ///
+    /// The graph arrays are trusted as-given (a checksummed snapshot
+    /// format guards the bytes); only the structural invariants needed
+    /// for memory safety are asserted.
+    pub fn from_state(state: HnswState) -> Self {
+        let n = state.candidates.len();
+        assert_eq!(state.node_level.len(), n, "one level per candidate");
+        assert_eq!(state.links.len(), n, "one link table per candidate");
+        assert!(
+            state.entry.is_none() == (n == 0) && state.entry.is_none_or(|e| e < n),
+            "entry point must name a stored slot exactly when non-empty"
+        );
+        HnswIndex {
+            candidates: state.candidates,
+            config: state.config,
+            rng: StdRng::from_state(state.rng_state),
+            entry: state.entry,
+            node_level: state.node_level,
+            links: state.links,
         }
     }
 
@@ -625,6 +689,68 @@ mod tests {
                 assert!(hnsw.neighbours(slot, layer).len() <= hnsw.layer_cap(layer));
             }
         }
+    }
+
+    #[test]
+    fn exported_state_round_trips_and_post_restart_inserts_stay_deterministic() {
+        // build over a prefix, export/import, then insert the rest: the
+        // restored index must equal BOTH the uninterrupted streaming
+        // build and the bulk build over the union — graph and searches.
+        // The resident RNG state is what makes this hold; re-seeding
+        // would replay the level sequence from the start and diverge.
+        let union = random_set(80, 14);
+        let base = union.filtered(|id| id < 50);
+        let mut increment = MixedPointSet::new(union.manifold().clone());
+        for i in 50..union.len() {
+            increment.push(union.id(i), union.point(i), union.weight(i));
+        }
+        let config = HnswConfig {
+            m: 6,
+            ef_construction: 20,
+            ef_search: 20,
+            seed: 31,
+        };
+        let mut uninterrupted = HnswIndex::build(base.clone(), config);
+        let mut restored = HnswIndex::from_state(HnswIndex::build(base, config).export_state());
+        // restored searches match the saved index before any insert
+        let keys = random_set(12, 15);
+        for i in 0..keys.len() {
+            assert_eq!(
+                restored.search(keys.point(i), keys.weight(i), 5, None),
+                uninterrupted.search(keys.point(i), keys.weight(i), 5, None),
+            );
+        }
+        uninterrupted.insert(&increment);
+        restored.insert(&increment);
+        let bulk = HnswIndex::build(union, config);
+        assert_eq!(restored.len(), bulk.len());
+        assert_eq!(restored.max_level(), bulk.max_level());
+        for slot in 0..bulk.len() {
+            for layer in 0..=bulk.node_level[slot] {
+                assert_eq!(
+                    restored.neighbours(slot, layer),
+                    bulk.neighbours(slot, layer),
+                    "post-restart graph diverged at slot {slot}, layer {layer}"
+                );
+            }
+        }
+        for i in 0..keys.len() {
+            let want = uninterrupted.search(keys.point(i), keys.weight(i), 5, None);
+            assert_eq!(
+                restored.search(keys.point(i), keys.weight(i), 5, None),
+                want
+            );
+            assert_eq!(bulk.search(keys.point(i), keys.weight(i), 5, None), want);
+        }
+    }
+
+    #[test]
+    fn empty_index_state_round_trips() {
+        let manifold = ProductManifold::new(vec![SubspaceSpec::new(2, 0.0)]);
+        let empty = HnswIndex::build(MixedPointSet::new(manifold), HnswConfig::default());
+        let restored = HnswIndex::from_state(empty.export_state());
+        assert!(restored.is_empty());
+        assert!(restored.search(&[0.0, 0.0], &[1.0], 3, None).is_empty());
     }
 
     #[test]

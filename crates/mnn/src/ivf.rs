@@ -41,6 +41,24 @@ impl Default for IvfConfig {
     }
 }
 
+/// The resident state of an [`IvfIndex`], exported for durable
+/// snapshots: the candidate set, the configuration, and the frozen
+/// coarse quantisation (centroids + cluster assignments). Tangent
+/// coordinates are *not* part of the state — they are a deterministic
+/// function of the stored points (`log0`) and are recomputed on import,
+/// keeping snapshots smaller without losing bit-exactness.
+#[derive(Debug, Clone)]
+pub struct IvfState {
+    /// The indexed candidate set.
+    pub candidates: MixedPointSet,
+    /// The configuration the index was built with.
+    pub config: IvfConfig,
+    /// Tangent-space centroids of the frozen coarse quantisation.
+    pub centroids: Vec<Vec<f64>>,
+    /// Candidate slots assigned to each centroid's cluster.
+    pub clusters: Vec<Vec<usize>>,
+}
+
 /// An IVF index over a candidate point set.
 #[derive(Debug, Clone)]
 pub struct IvfIndex {
@@ -160,6 +178,51 @@ impl IvfIndex {
                 .push(added.id(i), added.point(i), added.weight(i));
             self.tangents.push(tangent);
             self.clusters[best].push(slot);
+        }
+    }
+
+    /// Export the resident state for a durable snapshot — see
+    /// [`IvfState`] for what is captured and what is recomputed.
+    pub fn export_state(&self) -> IvfState {
+        IvfState {
+            candidates: self.candidates.clone(),
+            config: self.config,
+            centroids: self.centroids.clone(),
+            clusters: self.clusters.clone(),
+        }
+    }
+
+    /// Rebuild an index from an exported [`IvfState`], recomputing the
+    /// tangent coordinates from the stored points. The restored index
+    /// searches identically to the saved one, and post-restart
+    /// [`IvfIndex::insert`]s assign against the same frozen centroids an
+    /// uninterrupted process would have used (the quantisation carries no
+    /// RNG once built, so the state alone determines future inserts).
+    ///
+    /// The quantisation arrays are trusted as-given (a checksummed
+    /// snapshot format guards the bytes); only the invariants needed to
+    /// keep search in bounds are asserted.
+    pub fn from_state(state: IvfState) -> Self {
+        let n = state.candidates.len();
+        assert_eq!(
+            state.centroids.len(),
+            state.clusters.len(),
+            "one cluster per centroid"
+        );
+        assert!(
+            state.clusters.iter().flatten().all(|&slot| slot < n),
+            "cluster members must name stored slots"
+        );
+        let manifold = state.candidates.manifold().clone();
+        let tangents: Vec<Vec<f64>> = (0..n)
+            .map(|i| manifold.log0(state.candidates.point(i)))
+            .collect();
+        IvfIndex {
+            candidates: state.candidates,
+            tangents,
+            centroids: state.centroids,
+            clusters: state.clusters,
+            config: state.config,
         }
     }
 
@@ -385,6 +448,51 @@ mod tests {
         let exact = build_exact_index(&keys, &extra_full, 5, false, 1);
         let approx = ivf.build_index(&keys, 5, false);
         assert!((recall_at_k(&approx, &exact, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exported_state_round_trips_and_post_restart_inserts_stay_deterministic() {
+        let base = random_set(50, 14);
+        let extra_full = random_set(62, 14); // same seed: first 50 identical
+        let extra = {
+            let mut e = MixedPointSet::new(base.manifold().clone());
+            for i in 50..extra_full.len() {
+                e.push(extra_full.id(i), extra_full.point(i), extra_full.weight(i));
+            }
+            e
+        };
+        let config = IvfConfig {
+            num_clusters: 6,
+            kmeans_iters: 5,
+            nprobe: 3, // partial probing: cluster assignments must survive
+            seed: 4,
+        };
+        let mut uninterrupted = IvfIndex::build(base.clone(), config);
+        let mut restored = IvfIndex::from_state(IvfIndex::build(base, config).export_state());
+        let keys = random_set(12, 15);
+        for i in 0..keys.len() {
+            assert_eq!(
+                restored.search(keys.point(i), keys.weight(i), 5, None),
+                uninterrupted.search(keys.point(i), keys.weight(i), 5, None),
+            );
+        }
+        // post-restart inserts assign against the same frozen centroids
+        uninterrupted.insert(&extra);
+        restored.insert(&extra);
+        assert_eq!(restored.len(), 62);
+        for (a, b) in restored.clusters.iter().zip(&uninterrupted.clusters) {
+            assert_eq!(a, b, "post-restart cluster assignments diverged");
+        }
+        for i in 0..keys.len() {
+            assert_eq!(
+                restored.search(keys.point(i), keys.weight(i), 5, None),
+                uninterrupted.search(keys.point(i), keys.weight(i), 5, None),
+            );
+        }
+        // recomputed tangents are bit-identical to the originals
+        for i in 0..restored.len() {
+            assert_eq!(restored.tangent(i), uninterrupted.tangent(i));
+        }
     }
 
     #[test]

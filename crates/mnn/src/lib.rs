@@ -41,10 +41,10 @@ pub mod hnsw;
 pub mod ivf;
 pub mod points;
 
-pub use backend::{AnnIndex, ExactBackend, HnswBackend, IndexBackend, IvfBackend};
+pub use backend::{AnnBackendState, AnnIndex, ExactBackend, HnswBackend, IndexBackend, IvfBackend};
 pub use brute::{build_exact_index, InvertedIndex, Postings};
-pub use hnsw::{HnswConfig, HnswIndex};
-pub use ivf::{recall_at_k, IvfConfig, IvfIndex};
+pub use hnsw::{HnswConfig, HnswIndex, HnswState};
+pub use ivf::{recall_at_k, IvfConfig, IvfIndex, IvfState};
 pub use points::MixedPointSet;
 
 /// Shared fixture for this crate's unit-test modules: `n` random points

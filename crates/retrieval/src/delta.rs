@@ -426,6 +426,69 @@ impl ShardedDeltaBuilder {
         self.topology.shards
     }
 
+    /// The deployment topology every generation is assembled under —
+    /// what the snapshot store persists so a reload reconstructs the
+    /// identical cluster shape.
+    pub(crate) fn topology(&self) -> &ShardedEngineBuilder {
+        &self.topology
+    }
+
+    /// Every slot's current state in shard order — its post-delta build
+    /// inputs and its current-generation [`IndexSet`] (served or adless).
+    /// This is exactly what the snapshot writer persists per shard.
+    pub(crate) fn slot_parts(&self) -> Vec<(&IndexBuildInputs, &IndexSet)> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                let indexes = match &slot.engine {
+                    Some(engine) => engine.indexes(),
+                    None => slot
+                        .adless_indexes
+                        .as_ref()
+                        .expect("a slot always holds its indices in exactly one place"),
+                };
+                (slot.builder.inputs(), indexes)
+            })
+            .collect()
+    }
+
+    /// Reassemble a builder from persisted per-shard state — the warm
+    /// path [`crate::store`] reloads through: the expensive index
+    /// construction is already done, so each slot only re-validates its
+    /// inputs and wraps the decoded [`IndexSet`] in a serving engine.
+    /// `parts` must be in shard order, one entry per configured shard
+    /// (the snapshot writer guarantees both).
+    pub(crate) fn from_slot_parts(
+        topology: ShardedEngineBuilder,
+        parts: Vec<(IndexBuildInputs, IndexSet)>,
+    ) -> Result<Self, RetrievalError> {
+        topology.validate_topology()?;
+        debug_assert_eq!(parts.len(), topology.shards, "one slot part per shard");
+        let index = topology.index;
+        let retrieval = topology.retrieval;
+        let mut slots = Vec::with_capacity(parts.len());
+        for (inputs, indexes) in parts {
+            let (adless_indexes, engine) = if indexes.q2a.is_empty() && indexes.i2a.is_empty() {
+                (Some(indexes), None)
+            } else {
+                let engine = RetrievalEngine::builder()
+                    .index(index)
+                    .retrieval(retrieval)
+                    .build_from_indexes(indexes)?;
+                (None, Some(Arc::new(engine)))
+            };
+            slots.push(ShardSlot {
+                builder: DeltaBuilder::new(inputs, index)?,
+                adless_indexes,
+                engine,
+            });
+        }
+        if slots.iter().all(|slot| slot.engine.is_none()) {
+            return Err(RetrievalError::EmptyIndex { indices: "q2a+i2a" });
+        }
+        Ok(ShardedDeltaBuilder { topology, slots })
+    }
+
     /// Total ads currently in the corpus (across all shards).
     pub fn corpus_len(&self) -> usize {
         self.slots

@@ -63,6 +63,24 @@ pub enum RetrievalError {
         /// The shard's replica count — all of them are marked down.
         replicas: usize,
     },
+    /// A snapshot file is unreadable or fails integrity validation:
+    /// truncated, wrong magic, checksum mismatch, or internally
+    /// inconsistent (counts pointing past the payload, backend state
+    /// referencing out-of-range slots, ...). The decoder never panics on
+    /// bad bytes — every malformed input surfaces here.
+    SnapshotCorrupt {
+        /// What the decoder rejected, for the operator's log line.
+        detail: String,
+    },
+    /// A snapshot was written by an incompatible format version. The file
+    /// is intact (magic and checksum verified) — it just postdates or
+    /// predates this binary's codec.
+    SnapshotVersion {
+        /// The version recorded in the file header.
+        found: u32,
+        /// The version this binary reads and writes.
+        supported: u32,
+    },
 }
 
 impl RetrievalError {
@@ -116,6 +134,15 @@ impl fmt::Display for RetrievalError {
                     "shard {shard} is unavailable: all {replicas} serving replicas are marked down"
                 )
             }
+            RetrievalError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot is corrupt: {detail}")
+            }
+            RetrievalError::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is unsupported (this binary reads version {supported})"
+                )
+            }
         }
     }
 }
@@ -151,5 +178,15 @@ mod tests {
         assert!(e.to_string().contains("ads_qa"));
         let e = RetrievalError::UnknownAd { ad: 9000 };
         assert!(e.to_string().contains("9000"));
+        let e = RetrievalError::SnapshotCorrupt {
+            detail: "payload checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = RetrievalError::SnapshotVersion {
+            found: 7,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 7"));
+        assert!(e.to_string().contains("version 1"));
     }
 }

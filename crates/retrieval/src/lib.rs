@@ -41,6 +41,16 @@
 //! a from-scratch rebuild of the post-delta corpus — see the [`delta`]
 //! module docs for the algorithm and the exactness argument.
 //!
+//! The whole serving state is also **durable**: the [`store`] module
+//! persists a deployment to a versioned, checksummed snapshot file
+//! ([`EngineHandle::save_snapshot`]), and a restarted process reloads it
+//! ([`EngineHandle::load`], or [`ShardedEngineBuilder::from_snapshot`]
+//! for a cold start without delta tracking) and catches up by replaying
+//! the deltas published after the snapshot's generation — skipping the
+//! index rebuild entirely and serving byte-identically to a process
+//! that never restarted. See the [`store`] module docs for the
+//! save → restart → catch-up lifecycle.
+//!
 //! Below the triad sit the building blocks: [`IndexSet`] (the six
 //! inverted indices Q2Q, Q2I, I2Q, I2I, Q2A, I2A built offline with any
 //! [`amcad_mnn::AnnIndex`] backend — exact scan, IVF or HNSW; duplicate
@@ -130,6 +140,7 @@ pub mod retriever;
 pub mod serving;
 pub mod shard;
 pub mod snapshot;
+pub mod store;
 
 pub use delta::{DeltaBuilder, IndexDelta, ShardedDeltaBuilder};
 pub use engine::{
@@ -143,6 +154,7 @@ pub use retriever::{RetrievalConfig, RetrievedAd, TwoLayerRetriever};
 pub use serving::{LoadReport, ServingConfig, ServingSimulator};
 pub use shard::{ad_shard, shard_inputs, ReplicatedShard, ShardedEngine, ShardedEngineBuilder};
 pub use snapshot::{EngineHandle, EngineSnapshot};
+pub use store::{load_backend_state, save_backend_state, SnapshotManifest, FORMAT_VERSION};
 
 /// Shared fixtures for this crate's test modules: one tiny deterministic
 /// world (queries 0..10, items 100..140, ads 200..220).

@@ -266,6 +266,20 @@ impl ShardedEngineBuilder {
         ))
     }
 
+    /// Cold-start a sharded deployment from a snapshot file written by
+    /// [`crate::EngineHandle::save_snapshot`]. The cluster topology,
+    /// backend and retrieval configuration all come from the file (they
+    /// are part of the persisted state), and the decoded indices are
+    /// served as-is — no O(keys × ads) rebuild. Use this when serving
+    /// from a fixed corpus image; use [`crate::EngineHandle::load`] when
+    /// the process also needs to catch up via deltas.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ShardedEngine, RetrievalError> {
+        let (_generation, builder) = crate::store::read_snapshot(path.as_ref())?;
+        builder.engine()
+    }
+
     /// Reject zero-sized topology knobs (shared by the builder and the
     /// delta builder).
     pub(crate) fn validate_topology(&self) -> Result<(), RetrievalError> {

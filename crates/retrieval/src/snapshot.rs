@@ -29,6 +29,7 @@
 //! [`crate::RetrievalEngine`], a [`crate::ShardedEngine`], even another
 //! handle (though one level is all a deployment needs).
 
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use crate::delta::{IndexDelta, ShardedDeltaBuilder};
@@ -100,12 +101,59 @@ impl EngineHandle {
 
     /// Create a handle around an already-shared engine (generation 1).
     pub fn from_arc(engine: Arc<dyn Retrieve>) -> Self {
+        Self::from_arc_at(engine, 1)
+    }
+
+    /// Create a handle serving `engine` at an explicit generation — the
+    /// warm-restart constructor: a handle restored from a snapshot taken
+    /// at generation G resumes counting publishes from G, so the
+    /// generation sequence after a restart is indistinguishable from the
+    /// never-restarted process.
+    pub(crate) fn from_arc_at(engine: Arc<dyn Retrieve>, generation: u64) -> Self {
         EngineHandle {
-            current: RwLock::new(Arc::new(EngineSnapshot {
-                engine,
-                generation: 1,
-            })),
+            current: RwLock::new(Arc::new(EngineSnapshot { engine, generation })),
         }
+    }
+
+    /// Persist the deployment `builder` maintains — and this handle
+    /// serves — to `path` as a durable snapshot stamped with the current
+    /// generation (returned on success). The snapshot captures the full
+    /// serving state (see [`crate::store`]); pair with
+    /// [`EngineHandle::load`] for the warm restart, replaying any
+    /// [`IndexDelta`]s newer than the returned generation through
+    /// [`EngineHandle::publish_delta`] to catch up.
+    ///
+    /// The caller is responsible for `builder` being the one whose
+    /// generations this handle publishes — the snapshot pairs the
+    /// builder's state with this handle's generation counter.
+    pub fn save_snapshot(
+        &self,
+        builder: &ShardedDeltaBuilder,
+        path: impl AsRef<Path>,
+    ) -> Result<u64, RetrievalError> {
+        let generation = self.generation();
+        crate::store::write_snapshot(path.as_ref(), builder, generation)?;
+        Ok(generation)
+    }
+
+    /// Warm-restart a deployment from a snapshot written by
+    /// [`EngineHandle::save_snapshot`]: reconstruct the
+    /// [`ShardedDeltaBuilder`] (no index rebuild — the decoded indices
+    /// are served as-is) and a handle already at the snapshot's
+    /// generation. Applying the deltas published after the snapshot, in
+    /// order, through [`EngineHandle::publish_delta`] yields a process
+    /// byte-identical to one that never restarted — rankings, logical
+    /// stats and generation numbers alike (property-tested in
+    /// [`crate::store`]).
+    pub fn load(
+        path: impl AsRef<Path>,
+    ) -> Result<(EngineHandle, ShardedDeltaBuilder), RetrievalError> {
+        let (generation, builder) = crate::store::read_snapshot(path.as_ref())?;
+        let engine = builder.engine()?;
+        Ok((
+            EngineHandle::from_arc_at(Arc::new(engine), generation),
+            builder,
+        ))
     }
 
     /// Pin the current snapshot. The returned [`Arc`] keeps that

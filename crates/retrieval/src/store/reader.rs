@@ -1,0 +1,131 @@
+//! Reconstructing a deployment (or a standalone resident ANN backend)
+//! from snapshot bytes.
+//!
+//! The reader is the warm-restart path: it decodes the key-side state
+//! once, re-establishes the [`Arc`] sharing the writer collapsed (every
+//! reconstructed shard's key sets and key indices point at the *same*
+//! allocations, exactly like a fresh [`crate::shard::shard_inputs`]
+//! split would arrange), and hands the per-shard parts to
+//! [`ShardedDeltaBuilder::from_slot_parts`] — which only re-wraps the
+//! decoded indices in serving engines, skipping the O(keys × ads)
+//! neighbour build entirely. That skip is what makes a restart I/O-bound
+//! instead of rebuild-bound.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use amcad_mnn::AnnBackendState;
+
+use crate::delta::ShardedDeltaBuilder;
+use crate::error::RetrievalError;
+use crate::index_set::{IndexBuildInputs, IndexSet};
+use crate::shard::{ad_shard, ShardedEngineBuilder};
+
+use super::format::{
+    decode_backend_state, decode_index, decode_point_set, unseal, Decoder, MAGIC_BACKEND,
+    MAGIC_SNAPSHOT,
+};
+use super::manifest::SnapshotManifest;
+
+fn read_file(path: &Path) -> Result<Vec<u8>, RetrievalError> {
+    std::fs::read(path).map_err(|e| RetrievalError::SnapshotCorrupt {
+        detail: format!("cannot read {}: {e}", path.display()),
+    })
+}
+
+/// Read a deployment snapshot: the generation it was taken at plus the
+/// reconstructed [`ShardedDeltaBuilder`], ready to serve and to apply
+/// newer deltas.
+pub(crate) fn read_snapshot(path: &Path) -> Result<(u64, ShardedDeltaBuilder), RetrievalError> {
+    decode_snapshot(&read_file(path)?)
+}
+
+/// Decode a full deployment snapshot from sealed bytes.
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<(u64, ShardedDeltaBuilder), RetrievalError> {
+    let payload = unseal(MAGIC_SNAPSHOT, bytes)?;
+    let mut dec = Decoder::new(payload);
+    let manifest = SnapshotManifest::decode(&mut dec)?;
+    // key-side state, decoded once and Arc-shared across every shard
+    let queries_qq = Arc::new(decode_point_set(&mut dec)?);
+    let queries_qi = Arc::new(decode_point_set(&mut dec)?);
+    let items_qi = Arc::new(decode_point_set(&mut dec)?);
+    let queries_qa = Arc::new(decode_point_set(&mut dec)?);
+    let items_ii = Arc::new(decode_point_set(&mut dec)?);
+    let items_ia = Arc::new(decode_point_set(&mut dec)?);
+    let q2q = Arc::new(decode_index(&mut dec)?);
+    let q2i = Arc::new(decode_index(&mut dec)?);
+    let i2q = Arc::new(decode_index(&mut dec)?);
+    let i2i = Arc::new(decode_index(&mut dec)?);
+    let mut parts: Vec<(IndexBuildInputs, IndexSet)> = Vec::with_capacity(manifest.shards);
+    for s in 0..manifest.shards {
+        let ads_qa = decode_point_set(&mut dec)?;
+        let ads_ia = decode_point_set(&mut dec)?;
+        let q2a = decode_index(&mut dec)?;
+        let i2a = decode_index(&mut dec)?;
+        // placement integrity: every ad of this slice must hash to this
+        // shard, or later deltas would route updates to the wrong slot
+        for &ad in ads_qa.ids().iter().chain(ads_ia.ids()) {
+            let home = ad_shard(ad, manifest.shards);
+            if home != s {
+                return Err(RetrievalError::SnapshotCorrupt {
+                    detail: format!(
+                        "ad {ad} is stored on shard {s} but hashes to shard {home} of {}",
+                        manifest.shards
+                    ),
+                });
+            }
+        }
+        if ads_qa.len() != manifest.ads_per_shard[s] {
+            return Err(RetrievalError::SnapshotCorrupt {
+                detail: format!(
+                    "shard {s} holds {} ads but the manifest recorded {}",
+                    ads_qa.len(),
+                    manifest.ads_per_shard[s]
+                ),
+            });
+        }
+        let inputs = IndexBuildInputs {
+            queries_qq: Arc::clone(&queries_qq),
+            queries_qi: Arc::clone(&queries_qi),
+            items_qi: Arc::clone(&items_qi),
+            queries_qa: Arc::clone(&queries_qa),
+            ads_qa,
+            items_ii: Arc::clone(&items_ii),
+            items_ia: Arc::clone(&items_ia),
+            ads_ia,
+        };
+        let indexes = IndexSet {
+            q2q: Arc::clone(&q2q),
+            q2i: Arc::clone(&q2i),
+            i2q: Arc::clone(&i2q),
+            i2i: Arc::clone(&i2i),
+            q2a,
+            i2a,
+        };
+        parts.push((inputs, indexes));
+    }
+    dec.finish()?;
+    let topology = ShardedEngineBuilder::default()
+        .shards(manifest.shards)
+        .replicas(manifest.replicas)
+        .build_threads(manifest.build_threads)
+        .fanout_threads(manifest.fanout_threads)
+        .index(manifest.index)
+        .retrieval(manifest.retrieval);
+    let builder = ShardedDeltaBuilder::from_slot_parts(topology, parts)?;
+    Ok((manifest.generation, builder))
+}
+
+/// Load a standalone resident ANN backend persisted by
+/// [`crate::store::save_backend_state`]. All structural invariants
+/// (entry points, link targets, cluster membership) are validated during
+/// decoding, so a corrupt file surfaces as a typed error — the returned
+/// state instantiates without panicking.
+pub fn load_backend_state(path: impl AsRef<Path>) -> Result<AnnBackendState, RetrievalError> {
+    let bytes = read_file(path.as_ref())?;
+    let payload = unseal(MAGIC_BACKEND, &bytes)?;
+    let mut dec = Decoder::new(payload);
+    let state = decode_backend_state(&mut dec)?;
+    dec.finish()?;
+    Ok(state)
+}
