@@ -15,14 +15,17 @@
 //! entry point), and the latency ladder reports p50 / p90 / p95 / p99:
 //! the saturation knee shows in the upper deciles before the median.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use amcad_bench::json::{write_bench_json, Json};
 use amcad_bench::Scale;
 use amcad_core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad_eval::TextTable;
 use amcad_mnn::{HnswConfig, IndexBackend, IvfConfig};
 use amcad_retrieval::{
-    EngineHandle, LoadReport, Request, RetrievalEngine, ServingConfig, ServingSimulator,
-    ShardedEngine,
+    EngineHandle, LoadReport, Request, RetrievalEngine, RuntimeConfig, Scenario, ServingConfig,
+    ServingRuntime, ServingSimulator, ShardedEngine, TrafficPattern,
 };
 
 fn latency_table(reports: &[LoadReport]) -> TextTable {
@@ -70,6 +73,11 @@ fn levels_json(reports: &[LoadReport]) -> Json {
                     ("p95_ms", Json::from(r.p95_ms)),
                     ("p99_ms", Json::from(r.p99_ms)),
                     ("no_coverage", Json::from(r.no_coverage)),
+                    ("shed", Json::from(r.shed)),
+                    ("timed_out", Json::from(r.timed_out)),
+                    ("hedges", Json::from(r.hedges)),
+                    ("hedge_wins", Json::from(r.hedge_wins)),
+                    ("goodput_qps", Json::from(r.goodput_qps)),
                 ])
             })
             .collect(),
@@ -197,6 +205,8 @@ fn main() {
     let handle = EngineHandle::from_arc(sharded.clone());
     let reports = ServingSimulator::new(&handle, serving).sweep(&requests, &qps_levels);
     println!("{}", latency_table(&reports).render());
+    // the healthy low-load tail seeds the hedge delay below (p9x-derived)
+    let healthy_p95_ms = reports.first().map_or(1.0, |r| r.p95_ms);
     let healthy_levels = levels_json(&reports);
     let healthy_serves = sharded.replica_serves();
     for shard in 0..sharded.active_shards() {
@@ -215,6 +225,125 @@ fn main() {
         .collect();
     println!(
         "requests routed per replica per shard since the kill: {routed_after_kill:?} — killed replicas received zero.\n"
+    );
+
+    // -- The serving runtime: open-loop ladder with admission control -----
+    // The same 2x2 topology behind the persistent ServingRuntime: a
+    // bounded admission queue, per-request deadlines, SLO-driven load
+    // shedding and hedged requests (delay derived from the healthy p95,
+    // one replica degraded so hedges actually engage). The offered-QPS
+    // ladder runs open-loop with Zipf-skewed template popularity and
+    // deliberately crosses saturation: past the knee the runtime keeps
+    // p99 bounded by shedding instead of queueing without bound.
+    let hedge_delay = Duration::from_secs_f64((healthy_p95_ms * 3.0 / 1000.0).clamp(2e-4, 2e-3));
+    let hedged = Arc::new(
+        ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .fanout_threads(2)
+            .hedge_delay(hedge_delay)
+            .index(index_config)
+            .retrieval(retrieval_config)
+            .build(&inputs)
+            .expect("pipeline inputs always build a valid sharded engine"),
+    );
+    // one straggling replica, an order of magnitude past the hedge delay
+    hedged.delay_replica(0, 0, hedge_delay * 10);
+    let runtime_config = RuntimeConfig {
+        workers: 2,
+        queue_depth: 64,
+        deadline: Duration::from_millis(250),
+        batch_size: 8,
+    };
+    let runtime = ServingRuntime::new(hedged.clone(), runtime_config)
+        .expect("a valid runtime config")
+        .with_hedge_metrics(Arc::clone(
+            hedged.hedge_control().expect("hedging is configured"),
+        ));
+    println!(
+        "-- serving runtime: 2 shards x 2 replicas, hedge delay {:.3} ms, queue depth {}, deadline {:?}",
+        hedge_delay.as_secs_f64() * 1000.0,
+        runtime_config.queue_depth,
+        runtime_config.deadline,
+    );
+    let rungs: &[(f64, usize)] = &[
+        (250.0, 600),
+        (5_000.0, 1_500),
+        (50_000.0, 2_000),
+        (2_000_000.0, 4_000),
+    ];
+    let mut runtime_reports: Vec<LoadReport> = Vec::new();
+    for &(qps, n) in rungs {
+        let scenario = Scenario::sustained(qps, n).with_pattern(TrafficPattern::Zipf {
+            exponent: 1.1,
+            seed: 20221212,
+        });
+        runtime_reports.extend(runtime.run_scenario(&requests, &scenario));
+    }
+    let mut runtime_table = TextTable::new(vec![
+        "Offered QPS",
+        "Completed",
+        "Shed",
+        "Shed rate",
+        "Timed out",
+        "Hedges",
+        "Hedge wins",
+        "Goodput QPS",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
+    for r in &runtime_reports {
+        let total = r.completed + r.shed;
+        runtime_table.row(vec![
+            format!("{:.0}", r.offered_qps),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            format!("{:.3}", r.shed as f64 / (total.max(1)) as f64),
+            r.timed_out.to_string(),
+            r.hedges.to_string(),
+            r.hedge_wins.to_string(),
+            format!("{:.0}", r.goodput_qps),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p99_ms),
+        ]);
+    }
+    println!("{}", runtime_table.render());
+    let stats = runtime.stats();
+    println!(
+        "runtime counters: admitted {}, completed {}, shed at admission {}, shed on deadline {}\n",
+        stats.admitted, stats.completed, stats.shed_queue_full, stats.shed_deadline,
+    );
+    // CI smoke assertions: below the knee the runtime serves everything;
+    // past saturation it must shed (the queue is 64 deep against an
+    // arrival rate far beyond service capacity) while p99 stays bounded
+    // by the queue instead of growing with the backlog
+    let bottom = &runtime_reports[0];
+    let top = runtime_reports.last().expect("the ladder has rungs");
+    assert_eq!(
+        bottom.shed, 0,
+        "sub-saturation load must serve without shedding"
+    );
+    assert_eq!(bottom.completed, rungs[0].1);
+    assert!(
+        top.shed > 0,
+        "past saturation the admission queue must shed (completed {}, shed {})",
+        top.completed,
+        top.shed
+    );
+    assert!(
+        top.p99_ms < 5_000.0,
+        "shedding must keep p99 bounded, got {:.1} ms",
+        top.p99_ms
+    );
+    let hedge = hedged.hedge_control().expect("hedging is configured");
+    assert!(
+        hedge.issued() > 0,
+        "a degraded replica under single-request load must trigger hedges"
+    );
+    println!(
+        "hedges issued {}, won {} — the degraded replica loses the race to its sibling.\n",
+        hedge.issued(),
+        hedge.wins()
     );
 
     let json_path = write_bench_json(
@@ -241,6 +370,26 @@ fn main() {
                                 .collect(),
                         ),
                     ),
+                ]),
+            ),
+            (
+                "runtime",
+                Json::obj(vec![
+                    ("shards", Json::from(2usize)),
+                    ("replicas", Json::from(2usize)),
+                    ("workers", Json::from(runtime_config.workers)),
+                    ("queue_depth", Json::from(runtime_config.queue_depth)),
+                    (
+                        "deadline_ms",
+                        Json::from(runtime_config.deadline.as_secs_f64() * 1000.0),
+                    ),
+                    (
+                        "hedge_delay_ms",
+                        Json::from(hedge_delay.as_secs_f64() * 1000.0),
+                    ),
+                    ("hedges_issued", Json::from(hedge.issued())),
+                    ("hedge_wins", Json::from(hedge.wins())),
+                    ("levels", levels_json(&runtime_reports)),
                 ]),
             ),
         ]),

@@ -381,9 +381,13 @@ impl ShardedDeltaBuilder {
     /// incrementally.
     pub fn new(
         inputs: &IndexBuildInputs,
-        topology: ShardedEngineBuilder,
+        mut topology: ShardedEngineBuilder,
     ) -> Result<Self, RetrievalError> {
         topology.validate_topology()?;
+        // one persistent fan-out pool for the whole deployment: every
+        // generation this builder assembles serves on the same resident
+        // threads instead of spawning a pool per publish
+        topology.ensure_fanout_pool();
         inputs.validate()?;
         let parts = shard_inputs(inputs, topology.shards);
         let pool = if topology.build_threads == 0 {
@@ -459,10 +463,11 @@ impl ShardedDeltaBuilder {
     /// `parts` must be in shard order, one entry per configured shard
     /// (the snapshot writer guarantees both).
     pub(crate) fn from_slot_parts(
-        topology: ShardedEngineBuilder,
+        mut topology: ShardedEngineBuilder,
         parts: Vec<(IndexBuildInputs, IndexSet)>,
     ) -> Result<Self, RetrievalError> {
         topology.validate_topology()?;
+        topology.ensure_fanout_pool();
         debug_assert_eq!(parts.len(), topology.shards, "one slot part per shard");
         let index = topology.index;
         let retrieval = topology.retrieval;

@@ -5,6 +5,7 @@
 //! serving layer can count, log and shed them explicitly.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::engine::RetrievalStats;
 
@@ -62,6 +63,19 @@ pub enum RetrievalError {
         shard: usize,
         /// The shard's replica count — all of them are marked down.
         replicas: usize,
+    },
+    /// The serving runtime shed this request: the admission queue was at
+    /// its configured depth when the request arrived, or the request
+    /// aged past its deadline while queued. Shedding bounds queueing
+    /// delay — under overload the runtime answers a subset of requests
+    /// inside the SLO instead of answering all of them arbitrarily late.
+    Overloaded {
+        /// The configured admission-queue depth of the runtime that shed
+        /// the request (the configured bound, not the instantaneous
+        /// length, so the error is deterministic under test).
+        queue_depth: usize,
+        /// The per-request deadline the runtime enforces.
+        deadline: Duration,
     },
     /// A snapshot file is unreadable or fails integrity validation:
     /// truncated, wrong magic, checksum mismatch, or internally
@@ -134,6 +148,15 @@ impl fmt::Display for RetrievalError {
                     "shard {shard} is unavailable: all {replicas} serving replicas are marked down"
                 )
             }
+            RetrievalError::Overloaded {
+                queue_depth,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "serving runtime overloaded: admission queue at depth {queue_depth}, request shed against a {deadline:?} deadline"
+                )
+            }
             RetrievalError::SnapshotCorrupt { detail } => {
                 write!(f, "snapshot is corrupt: {detail}")
             }
@@ -178,6 +201,12 @@ mod tests {
         assert!(e.to_string().contains("ads_qa"));
         let e = RetrievalError::UnknownAd { ad: 9000 };
         assert!(e.to_string().contains("9000"));
+        let e = RetrievalError::Overloaded {
+            queue_depth: 128,
+            deadline: Duration::from_millis(25),
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("25ms"));
         let e = RetrievalError::SnapshotCorrupt {
             detail: "payload checksum mismatch".into(),
         };

@@ -65,6 +65,23 @@
 //! point sets, and [`IndexSet`] carries its key-side indices across
 //! delta generations pointer-identically.
 //!
+//! In front of it all sits the **persistent serving runtime** (the
+//! [`runtime`] module): all serving fan-out runs on long-lived
+//! condvar-parked [`PersistentPool`] workers instead of per-request
+//! thread spawns, and [`ServingRuntime`] adds a bounded admission queue
+//! with per-request deadlines — overload sheds with the typed
+//! [`RetrievalError::Overloaded`] instead of queueing without bound,
+//! queued neighbours batch into one scan-deduplicated `retrieve_batch`,
+//! and with [`ShardedEngineBuilder::hedge_delay`] a straggling shard
+//! gather is hedged to a sibling replica, first response winning.
+//! Per-replica weights ([`ShardedEngine::set_replica_weight`]) and the
+//! [`warm_rollout`] helper drain, warm and relabel one replica at a
+//! time from a snapshot, so a deployment keeps serving generation G
+//! while G+1 warms. [`Scenario`] traffic (flash crowds, Zipf-skewed
+//! sustained load) drives it open-loop through
+//! [`ServingRuntime::run_scenario`], extending [`LoadReport`] with
+//! shed / timeout / hedge counters and goodput.
+//!
 //! ## Serving with shards, replicas and zero-downtime updates
 //!
 //! ```no_run
@@ -137,6 +154,7 @@ pub mod error;
 pub mod index_set;
 pub mod pool;
 pub mod retriever;
+pub mod runtime;
 pub mod serving;
 pub mod shard;
 pub mod snapshot;
@@ -151,8 +169,14 @@ pub use error::RetrievalError;
 pub use index_set::{IndexBuildConfig, IndexBuildInputs, IndexSet};
 pub use pool::WorkerPool;
 pub use retriever::{RetrievalConfig, RetrievedAd, TwoLayerRetriever};
-pub use serving::{LoadReport, ServingConfig, ServingSimulator};
-pub use shard::{ad_shard, shard_inputs, ReplicatedShard, ShardedEngine, ShardedEngineBuilder};
+pub use runtime::park_pool::PersistentPool;
+pub use runtime::{warm_rollout, RuntimeConfig, RuntimeStats, ServingRuntime, Ticket};
+pub use serving::{
+    LoadReport, Scenario, ScenarioPhase, ServingConfig, ServingSimulator, TrafficPattern,
+};
+pub use shard::{
+    ad_shard, shard_inputs, HedgeControl, ReplicatedShard, ShardedEngine, ShardedEngineBuilder,
+};
 pub use snapshot::{EngineHandle, EngineSnapshot};
 pub use store::{load_backend_state, save_backend_state, SnapshotManifest, FORMAT_VERSION};
 

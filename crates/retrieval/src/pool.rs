@@ -1,12 +1,10 @@
 //! A small scoped worker pool: run N independent jobs on T threads and
 //! collect their results **in job order**.
 //!
-//! Both cluster-shaped hot paths of this crate are embarrassingly parallel
-//! — every shard's index build is independent of its siblings, and every
-//! expanded key's fan-out gather is independent of the other keys — but
-//! they borrow local state (the shard inputs, the per-request key set), so
-//! a `'static` thread pool would force clones. [`WorkerPool`] instead
-//! spawns *scoped* threads per [`WorkerPool::run`] call (via the
+//! This is the *build-side* pool: every shard's index build is
+//! independent of its siblings but borrows local state (the shard
+//! inputs), so a `'static` thread pool would force clones. [`WorkerPool`]
+//! instead spawns *scoped* threads per [`WorkerPool::run`] call (via the
 //! `crossbeam` scope, which delegates to `std::thread::scope`): workers
 //! claim job indices from a shared atomic counter and stash `(index,
 //! result)` pairs locally, and the results are re-assembled into index
@@ -15,6 +13,14 @@
 //! re-assembly is what makes the parallel output **byte-identical** to the
 //! sequential loop — the property the sharded-engine tests pin for shard
 //! counts 1 / 2 / 4 / 7.
+//!
+//! Per-call thread spawns are fine for builds, where the spawn cost is
+//! noise next to the O(keys × ads) work. The *serving* hot paths — shard
+//! fan-out and batch scan-dedup — do not use this pool: they run on the
+//! long-lived, condvar-parked
+//! [`PersistentPool`](crate::runtime::park_pool::PersistentPool), which
+//! keeps the same work-stealing, index-ordered (hence byte-identical)
+//! protocol without a spawn per request.
 //!
 //! With one thread (or at most one job) `run` executes inline on the
 //! caller's thread: no spawn, no synchronisation, exactly the sequential

@@ -24,6 +24,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Condvar;
 use std::time::{Duration, Instant};
 
+use rand::{Rng, SeedableRng};
+
 use crate::engine::{Request, Retrieve};
 use crate::error::RetrievalError;
 
@@ -53,6 +55,23 @@ pub struct LoadReport {
     pub p99_ms: f64,
     /// Achieved throughput in requests per second.
     pub achieved_qps: f64,
+    /// Requests shed by admission control or deadline enforcement
+    /// ([`RetrievalError::Overloaded`]). Always zero for the plain
+    /// simulator, which has no admission queue.
+    pub shed: usize,
+    /// Requests that completed but only after their deadline had passed
+    /// (late answers — completed, but not goodput). Always zero for the
+    /// plain simulator, which enforces no deadline.
+    pub timed_out: usize,
+    /// Hedge sub-requests issued during this level (straggling shard
+    /// gathers re-issued to a sibling replica).
+    pub hedges: u64,
+    /// Hedge sub-requests that beat the primary replica to the answer.
+    pub hedge_wins: u64,
+    /// Throughput counting only requests answered within their deadline,
+    /// in requests per second. Equal to `achieved_qps` when no deadline
+    /// is enforced.
+    pub goodput_qps: f64,
 }
 
 /// Configuration of the load generator.
@@ -148,7 +167,7 @@ pub struct ServingSimulator<'a> {
     config: ServingConfig,
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
@@ -237,6 +256,7 @@ impl<'a> ServingSimulator<'a> {
         let mut ms = latencies_ms.into_inner();
         ms.sort_by(|a, b| a.total_cmp(b));
         let completed = ms.len();
+        let achieved_qps = completed as f64 / wall.max(1e-9);
         LoadReport {
             offered_qps,
             completed,
@@ -250,7 +270,14 @@ impl<'a> ServingSimulator<'a> {
             p90_ms: percentile(&ms, 0.90),
             p95_ms: percentile(&ms, 0.95),
             p99_ms: percentile(&ms, 0.99),
-            achieved_qps: completed as f64 / wall.max(1e-9),
+            achieved_qps,
+            // the plain simulator has no admission queue, deadline or
+            // hedging — every completion is goodput
+            shed: 0,
+            timed_out: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            goodput_qps: achieved_qps,
         }
     }
 
@@ -260,6 +287,152 @@ impl<'a> ServingSimulator<'a> {
             .iter()
             .map(|&qps| self.run_level(requests, qps))
             .collect()
+    }
+}
+
+/// How a traffic scenario picks request templates.
+///
+/// Production ad traffic is heavily skewed — a few hot queries dominate —
+/// which is exactly the load shape that makes cross-request batch dedup
+/// and per-replica caching pay off. The uniform pattern cycles templates
+/// round-robin (the legacy simulator behaviour); the Zipf pattern samples
+/// template ranks from a power law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Cycle through the templates in order (every template equally hot).
+    Uniform,
+    /// Zipf-distributed template popularity: template at rank `r`
+    /// (0-indexed) is drawn with weight `1 / (r + 1)^exponent`.
+    /// Deterministic for a fixed seed.
+    Zipf {
+        /// The skew exponent `s` (1.0 is the classic Zipf shape; larger
+        /// concentrates more of the traffic on the top templates).
+        exponent: f64,
+        /// RNG seed — the same seed replays the same arrival sequence.
+        seed: u64,
+    },
+}
+
+impl TrafficPattern {
+    /// Build a sampler over `templates` request templates.
+    pub(crate) fn sampler(&self, templates: usize) -> TemplateSampler {
+        assert!(templates > 0, "need at least one request template");
+        match *self {
+            TrafficPattern::Uniform => TemplateSampler::RoundRobin(templates),
+            TrafficPattern::Zipf { exponent, seed } => {
+                let mut cumulative = Vec::with_capacity(templates);
+                let mut total = 0.0;
+                for rank in 0..templates {
+                    total += 1.0 / ((rank + 1) as f64).powf(exponent);
+                    cumulative.push(total);
+                }
+                TemplateSampler::Zipf {
+                    cumulative,
+                    rng: rand::rngs::StdRng::seed_from_u64(seed),
+                }
+            }
+        }
+    }
+}
+
+/// Stateful template chooser produced by [`TrafficPattern::sampler`].
+pub(crate) enum TemplateSampler {
+    /// `i % templates` — matches the legacy simulator's cycling.
+    RoundRobin(usize),
+    /// Inverse-CDF sampling over precomputed cumulative Zipf weights.
+    Zipf {
+        cumulative: Vec<f64>,
+        rng: rand::rngs::StdRng,
+    },
+}
+
+impl TemplateSampler {
+    /// Template index for the `i`-th request of the phase.
+    pub(crate) fn next(&mut self, i: usize) -> usize {
+        match self {
+            TemplateSampler::RoundRobin(templates) => i % *templates,
+            TemplateSampler::Zipf { cumulative, rng } => {
+                let total = *cumulative.last().expect("sampler has >= 1 template");
+                let u = rng.gen_range(0.0..total);
+                cumulative
+                    .partition_point(|&c| c <= u)
+                    .min(cumulative.len() - 1)
+            }
+        }
+    }
+}
+
+/// One constant-rate segment of a [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioPhase {
+    /// Label for reports ("pre-spike", "flash crowd", ...).
+    pub label: &'static str,
+    /// Offered load during this phase, requests per second.
+    pub offered_qps: f64,
+    /// How many requests this phase issues.
+    pub requests: usize,
+}
+
+/// A multi-phase open-loop traffic scenario for the serving runtime:
+/// each phase offers a constant rate, phases run back to back against
+/// the same runtime so queue state carries across phase boundaries
+/// (a flash crowd's backlog drains into the recovery phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// How request templates are chosen across the whole scenario.
+    pub pattern: TrafficPattern,
+    /// The phases, executed in order.
+    pub phases: Vec<ScenarioPhase>,
+}
+
+impl Scenario {
+    /// Sustained open-loop load: one phase at a constant rate.
+    pub fn sustained(offered_qps: f64, requests: usize) -> Self {
+        Scenario {
+            pattern: TrafficPattern::Uniform,
+            phases: vec![ScenarioPhase {
+                label: "sustained",
+                offered_qps,
+                requests,
+            }],
+        }
+    }
+
+    /// A flash crowd: steady base load, a spike at `spike_qps`, then a
+    /// recovery phase back at the base rate. The interesting assertions
+    /// are "the spike sheds" and "the recovery does not".
+    pub fn flash_crowd(
+        base_qps: f64,
+        spike_qps: f64,
+        base_requests: usize,
+        spike_requests: usize,
+    ) -> Self {
+        Scenario {
+            pattern: TrafficPattern::Uniform,
+            phases: vec![
+                ScenarioPhase {
+                    label: "pre-spike",
+                    offered_qps: base_qps,
+                    requests: base_requests,
+                },
+                ScenarioPhase {
+                    label: "flash crowd",
+                    offered_qps: spike_qps,
+                    requests: spike_requests,
+                },
+                ScenarioPhase {
+                    label: "recovery",
+                    offered_qps: base_qps,
+                    requests: base_requests,
+                },
+            ],
+        }
+    }
+
+    /// Replace the template-popularity pattern (builder style).
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
     }
 }
 
@@ -424,6 +597,53 @@ mod tests {
         let far = interval.mul_f64(10_000_000.0);
         assert!(far > interval.mul_f64(9_999_999.0));
         assert_eq!(interval.mul_f64(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn zipf_sampler_is_deterministic_and_skewed() {
+        let pattern = TrafficPattern::Zipf {
+            exponent: 1.2,
+            seed: 7,
+        };
+        let mut a = pattern.sampler(20);
+        let mut b = pattern.sampler(20);
+        let draws_a: Vec<usize> = (0..500).map(|i| a.next(i)).collect();
+        let draws_b: Vec<usize> = (0..500).map(|i| b.next(i)).collect();
+        assert_eq!(draws_a, draws_b, "same seed must replay the same stream");
+        assert!(draws_a.iter().all(|&t| t < 20));
+        // rank 0 must dominate: with s=1.2 over 20 templates its weight is
+        // ~30% of the total — far above the 5% a uniform draw would give
+        let top = draws_a.iter().filter(|&&t| t == 0).count();
+        let mid = draws_a.iter().filter(|&&t| t == 10).count();
+        assert!(top > 100, "rank 0 drew {top}/500 — not Zipf-skewed");
+        assert!(top > mid, "rank 0 ({top}) must outdraw rank 10 ({mid})");
+    }
+
+    #[test]
+    fn uniform_sampler_cycles_like_the_legacy_simulator() {
+        let mut s = TrafficPattern::Uniform.sampler(3);
+        let draws: Vec<usize> = (0..7).map(|i| s.next(i)).collect();
+        assert_eq!(draws, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn scenario_constructors_shape_their_phases() {
+        let s = Scenario::sustained(5_000.0, 400);
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].offered_qps, 5_000.0);
+        assert_eq!(s.phases[0].requests, 400);
+        let f =
+            Scenario::flash_crowd(1_000.0, 50_000.0, 200, 800).with_pattern(TrafficPattern::Zipf {
+                exponent: 1.0,
+                seed: 1,
+            });
+        assert_eq!(f.phases.len(), 3);
+        assert_eq!(f.phases[0].label, "pre-spike");
+        assert_eq!(f.phases[1].label, "flash crowd");
+        assert_eq!(f.phases[2].label, "recovery");
+        assert_eq!(f.phases[0].offered_qps, f.phases[2].offered_qps);
+        assert!(f.phases[1].offered_qps > f.phases[0].offered_qps);
+        assert!(matches!(f.pattern, TrafficPattern::Zipf { .. }));
     }
 
     #[test]

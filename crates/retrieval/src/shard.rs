@@ -26,9 +26,15 @@
 //! * **Parallel request fan-out** ([`ShardedEngineBuilder::fanout_threads`],
 //!   default 1): serving a request gathers, for every expanded key, each
 //!   shard's posting-list prefix. Those per-key gathers are independent,
-//!   so they run on the same pool type and are merged back in key order —
-//!   again byte-identical to the sequential path (the property test in
-//!   this module pins both axes for shard counts 1 / 2 / 4 / 7).
+//!   so they run on a persistent, condvar-parked
+//!   [`PersistentPool`] —
+//!   spawned once at build time and reused across every request, so the
+//!   steady-state serving path performs zero thread spawns — and are
+//!   merged back in key order, byte-identical to the sequential path
+//!   (the property test in this module pins both axes for shard counts
+//!   1 / 2 / 4 / 7). The scoped [`WorkerPool`] remains the *build*
+//!   executor: offline shard builds want a burst of threads per call,
+//!   not resident ones.
 //! * **Per-shard replication** ([`ShardedEngineBuilder::replicas`],
 //!   default 1): each shard is served by a [`ReplicatedShard`] — R
 //!   serving replicas behind round-robin selection with health marking.
@@ -43,6 +49,22 @@
 //!   in-process model the replicas of one shard share the shard's
 //!   immutable index storage — what a real deployment copies per machine
 //!   — so replication is an availability knob, never a ranking change.
+//!   Replicas additionally carry a **routing weight** (weight-0 replicas
+//!   drain: they stay healthy but receive no fresh traffic unless every
+//!   sibling is also draining — availability beats draining) and a
+//!   **generation label** for snapshot warm-up bookkeeping (see
+//!   [`crate::runtime::warm_rollout`]).
+//! * **Hedged requests** ([`ShardedEngineBuilder::hedge_delay`], default
+//!   off): with replicas ≥ 2, a per-shard gather that has not answered
+//!   within the configured delay is re-issued to a sibling replica and
+//!   the first response wins — [`RetrievalStats::served_by`] records the
+//!   winner, and [`HedgeControl`] counts issued hedges and hedge wins.
+//!   The delay is runtime-adjustable through
+//!   [`ShardedEngine::hedge_control`], so operators can measure a p95
+//!   first and derive the hedge delay from it without rebuilding.
+//!   Because replicas serve identical data, hedging is a tail-latency
+//!   knob, never a ranking change (parity-tested against the unhedged
+//!   path).
 //!
 //! ## Why the merge is exactly right, not approximately right
 //!
@@ -70,7 +92,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use crate::engine::{
     ReplicaId, Request, RetrievalEngine, RetrievalResponse, RetrievalStats, Retrieve,
@@ -79,6 +102,7 @@ use crate::error::RetrievalError;
 use crate::index_set::{IndexBuildConfig, IndexBuildInputs};
 use crate::pool::WorkerPool;
 use crate::retriever::{score_candidates, Key, RetrievalConfig};
+use crate::runtime::park_pool::PersistentPool;
 
 /// Batch-scope gather cache: `(is_item, key id)` → (index of the request
 /// that first gathered it, the merged whole-corpus candidate prefix).
@@ -135,6 +159,13 @@ pub struct ShardedEngineBuilder {
     pub(crate) replicas: usize,
     pub(crate) build_threads: usize,
     pub(crate) fanout_threads: usize,
+    pub(crate) hedge_delay: Option<Duration>,
+    /// The persistent fan-out/hedge pool, created once per deployment by
+    /// [`ShardedEngineBuilder::ensure_fanout_pool`] and shared (`Arc`)
+    /// across every generation built from this topology — delta publishes
+    /// and warm restarts reuse the resident threads instead of spawning
+    /// new ones per generation.
+    pub(crate) fanout_pool: Option<Arc<PersistentPool>>,
     pub(crate) index: IndexBuildConfig,
     pub(crate) retrieval: RetrievalConfig,
 }
@@ -146,6 +177,8 @@ impl Default for ShardedEngineBuilder {
             replicas: 1,
             build_threads: 0, // auto: min(shards, available cores)
             fanout_threads: 1,
+            hedge_delay: None,
+            fanout_pool: None,
             index: IndexBuildConfig::default(),
             retrieval: RetrievalConfig::default(),
         }
@@ -182,6 +215,36 @@ impl ShardedEngineBuilder {
     pub fn fanout_threads(mut self, fanout_threads: usize) -> Self {
         self.fanout_threads = fanout_threads.max(1);
         self
+    }
+
+    /// Enable hedged requests: a per-shard gather that has not answered
+    /// within `delay` is re-issued to a sibling replica, and the first
+    /// response wins (default: off). Requires `replicas >= 2` to have any
+    /// effect — with a single replica per shard there is no sibling to
+    /// hedge to, and the knob is silently inert. The delay can be
+    /// re-tuned at runtime through [`ShardedEngine::hedge_control`]
+    /// (e.g. measure a p95 first, then set the hedge delay from it).
+    pub fn hedge_delay(mut self, delay: Duration) -> Self {
+        self.hedge_delay = Some(delay);
+        self
+    }
+
+    /// Create the persistent fan-out pool this topology serves on, if it
+    /// needs one and does not have one yet. Called by every construction
+    /// path ([`ShardedEngineBuilder::build`], the delta builder, the
+    /// snapshot reader) so all generations of one deployment share a
+    /// single resident pool. Hedging needs at least width 2 even with an
+    /// inline fan-out: the hedged gathers run as background tasks.
+    pub(crate) fn ensure_fanout_pool(&mut self) {
+        let hedging = self.hedge_delay.is_some() && self.replicas > 1;
+        let width = if hedging {
+            self.fanout_threads.max(2)
+        } else {
+            self.fanout_threads
+        };
+        if width > 1 && self.fanout_pool.is_none() {
+            self.fanout_pool = Some(Arc::new(PersistentPool::new(width)));
+        }
     }
 
     /// Select the ANN backend every shard builds its indices with.
@@ -227,8 +290,9 @@ impl ShardedEngineBuilder {
     /// serve); if *every* shard is empty the build fails with the same
     /// [`RetrievalError::EmptyIndex`] a single engine over the whole
     /// inputs would report.
-    pub fn build(self, inputs: &IndexBuildInputs) -> Result<ShardedEngine, RetrievalError> {
+    pub fn build(mut self, inputs: &IndexBuildInputs) -> Result<ShardedEngine, RetrievalError> {
         self.validate_topology()?;
+        self.ensure_fanout_pool();
         let parts = shard_inputs(inputs, self.shards);
         let build_pool = if self.build_threads == 0 {
             WorkerPool::sized_for(self.shards)
@@ -306,6 +370,18 @@ struct ReplicaSlot {
     poisoned: AtomicBool,
     /// Requests this replica served (routing attribution).
     serves: AtomicU64,
+    /// Routing weight. Default 1; 0 drains the replica — it stays
+    /// healthy but receives no fresh traffic unless every sibling is
+    /// also draining (availability beats draining).
+    weight: AtomicU64,
+    /// Test hook: artificial contact latency in nanoseconds, applied to
+    /// hedged gathers against this replica (models a degraded machine).
+    delay_ns: AtomicU64,
+    /// Generation label for warm-up bookkeeping (0 = unlabeled). Purely
+    /// observational in this in-process model: data visibility flips
+    /// atomically at publish, the label records which snapshot
+    /// generation a replica was warmed from.
+    generation: AtomicU64,
 }
 
 impl ReplicaSlot {
@@ -314,6 +390,9 @@ impl ReplicaSlot {
             down: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             serves: AtomicU64::new(0),
+            weight: AtomicU64::new(1),
+            delay_ns: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 }
@@ -350,6 +429,9 @@ impl Clone for ReplicatedShard {
                     down: AtomicBool::new(slot.down.load(Ordering::Acquire)),
                     poisoned: AtomicBool::new(slot.poisoned.load(Ordering::Acquire)),
                     serves: AtomicU64::new(slot.serves.load(Ordering::Relaxed)),
+                    weight: AtomicU64::new(slot.weight.load(Ordering::Acquire)),
+                    delay_ns: AtomicU64::new(slot.delay_ns.load(Ordering::Acquire)),
+                    generation: AtomicU64::new(slot.generation.load(Ordering::Acquire)),
                 })
                 .collect(),
             cursor: AtomicUsize::new(self.cursor.load(Ordering::Relaxed)),
@@ -422,19 +504,122 @@ impl ReplicatedShard {
             .collect()
     }
 
-    /// Pick the serving replica for one request: round-robin over healthy
-    /// replicas. A poisoned replica errors at first contact — it is
-    /// marked down and the pick fails over to the next healthy sibling.
-    /// `shard` is only for the error report.
+    /// Routing weights per replica (down replicas report their stored
+    /// weight — being down is orthogonal to draining).
+    pub fn replica_weights(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|slot| slot.weight.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Set replica `replica`'s routing weight. Weight 0 drains the
+    /// replica: it stays in the healthy set (and still serves if every
+    /// sibling is drained or down) but receives no fresh traffic
+    /// otherwise. At equal nonzero weights the routing degenerates to
+    /// the classic per-request round-robin.
+    pub fn set_replica_weight(&self, replica: usize, weight: u64) {
+        self.slots[replica].weight.store(weight, Ordering::Release);
+    }
+
+    /// Test hook: add artificial latency to hedged gathers contacting
+    /// replica `replica` (models a degraded machine for hedging tests).
+    pub fn delay_replica(&self, replica: usize, delay: Duration) {
+        self.slots[replica]
+            .delay_ns
+            .store(delay.as_nanos() as u64, Ordering::Release);
+    }
+
+    /// The artificial contact latency of replica `replica`.
+    fn contact_delay(&self, replica: u32) -> Duration {
+        Duration::from_nanos(
+            self.slots[replica as usize]
+                .delay_ns
+                .load(Ordering::Acquire),
+        )
+    }
+
+    /// Start warming replica `replica`: drain it (weight 0) so it stops
+    /// receiving fresh traffic while the next generation's data loads.
+    pub fn begin_warmup(&self, replica: usize) {
+        self.set_replica_weight(replica, 0);
+    }
+
+    /// Finish warming replica `replica`: label it with the generation it
+    /// now carries and restore its routing weight.
+    pub fn finish_warmup(&self, replica: usize, generation: u64) {
+        self.slots[replica]
+            .generation
+            .store(generation, Ordering::Release);
+        self.set_replica_weight(replica, 1);
+    }
+
+    /// Per-replica generation labels (0 = never labeled).
+    pub fn replica_generations(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|slot| slot.generation.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Label every replica of this shard with `generation`.
+    pub fn label_generations(&self, generation: u64) {
+        for slot in &self.slots {
+            slot.generation.store(generation, Ordering::Release);
+        }
+    }
+
+    /// Pick the serving replica for one request: weighted selection over
+    /// healthy replicas, driven by the shared cursor (at equal weights
+    /// this is exactly the classic round-robin). A poisoned replica
+    /// errors at first contact — it is marked down and the pick fails
+    /// over to the next healthy sibling. If every healthy replica is
+    /// draining (weight 0), plain round-robin over the healthy set takes
+    /// over: availability beats draining. `shard` is only for the error
+    /// report.
     fn pick(&self, shard: usize) -> Result<u32, RetrievalError> {
         loop {
             let n = self.slots.len();
             let start = self.cursor.fetch_add(1, Ordering::Relaxed);
-            let Some(replica) = (0..n)
-                .map(|k| (start + k) % n)
-                .find(|&r| !self.slots[r].down.load(Ordering::Acquire))
-            else {
+            let mut weights = Vec::with_capacity(n);
+            let mut healthy = Vec::with_capacity(n);
+            let mut total: u64 = 0;
+            let mut any_healthy = false;
+            for slot in &self.slots {
+                let up = !slot.down.load(Ordering::Acquire);
+                any_healthy |= up;
+                let w = if up {
+                    slot.weight.load(Ordering::Acquire)
+                } else {
+                    0
+                };
+                total += w;
+                weights.push(w);
+                healthy.push(up);
+            }
+            if !any_healthy {
                 return Err(RetrievalError::ShardUnavailable { shard, replicas: n });
+            }
+            let replica = if total == 0 {
+                // every healthy replica is drained — serve anyway
+                (0..n)
+                    .map(|k| (start + k) % n)
+                    .find(|&r| healthy[r])
+                    .expect("any_healthy checked above")
+            } else {
+                // cursor-driven inverse-CDF over the integer weights:
+                // deterministic, and identical to round-robin when all
+                // healthy weights are equal
+                let mut x = start as u64 % total;
+                let mut chosen = 0;
+                for (r, &w) in weights.iter().enumerate() {
+                    if x < w {
+                        chosen = r;
+                        break;
+                    }
+                    x -= w;
+                }
+                chosen
             };
             if self.slots[replica].poisoned.swap(false, Ordering::AcqRel) {
                 // the contact surfaced an internal error: mark the replica
@@ -445,6 +630,191 @@ impl ReplicatedShard {
             self.slots[replica].serves.fetch_add(1, Ordering::Relaxed);
             return Ok(replica as u32);
         }
+    }
+
+    /// Pick a healthy replica other than `exclude` for a hedged gather
+    /// (round-robin from the shared cursor; poisoned siblings are marked
+    /// down, exactly like [`ReplicatedShard::pick`]). `None` when the
+    /// primary is the only healthy replica left — then there is nobody
+    /// to hedge to and the request simply waits for the primary.
+    fn pick_sibling(&self, exclude: u32) -> Option<u32> {
+        let n = self.slots.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let r = (start + k) % n;
+            if r as u32 == exclude || self.slots[r].down.load(Ordering::Acquire) {
+                continue;
+            }
+            if self.slots[r].poisoned.swap(false, Ordering::AcqRel) {
+                self.slots[r].down.store(true, Ordering::Release);
+                continue;
+            }
+            self.slots[r].serves.fetch_add(1, Ordering::Relaxed);
+            return Some(r as u32);
+        }
+        None
+    }
+}
+
+/// Shared observability and tuning surface of the hedged-request path.
+///
+/// One instance per [`ShardedEngine`] deployment (shared by clones and
+/// delta generations through the builder's pool `Arc`). The delay is a
+/// live knob: measure a p95 on real traffic first, then
+/// [`HedgeControl::set_delay`] the p9x-derived value without rebuilding
+/// the engine.
+#[derive(Debug)]
+pub struct HedgeControl {
+    delay_nanos: AtomicU64,
+    issued: AtomicU64,
+    won: AtomicU64,
+}
+
+impl HedgeControl {
+    fn new(delay: Duration) -> Self {
+        HedgeControl {
+            delay_nanos: AtomicU64::new(delay.as_nanos() as u64),
+            issued: AtomicU64::new(0),
+            won: AtomicU64::new(0),
+        }
+    }
+
+    /// The current hedge delay: how long a shard gather may straggle
+    /// before a sibling replica is hedged in.
+    pub fn delay(&self) -> Duration {
+        Duration::from_nanos(self.delay_nanos.load(Ordering::Acquire))
+    }
+
+    /// Re-tune the hedge delay at runtime (takes effect on the next
+    /// request).
+    pub fn set_delay(&self, delay: Duration) {
+        self.delay_nanos
+            .store(delay.as_nanos() as u64, Ordering::Release);
+    }
+
+    /// Hedge sub-requests issued since the deployment was built.
+    pub fn issued(&self) -> u64 {
+        self.issued.load(Ordering::Relaxed)
+    }
+
+    /// Hedge sub-requests that beat the primary replica to the answer.
+    pub fn wins(&self) -> u64 {
+        self.won.load(Ordering::Relaxed)
+    }
+}
+
+/// The hedging machinery of one deployment: the shared control/counters
+/// plus the persistent pool the hedged gathers run on.
+#[derive(Debug, Clone)]
+struct HedgeRuntime {
+    control: Arc<HedgeControl>,
+    pool: Arc<PersistentPool>,
+}
+
+/// First-response-wins rendezvous between a request and its (up to two)
+/// replica gathers for one shard.
+struct GatherSlot {
+    outcome: Mutex<Option<GatherOutcome>>,
+    ready: Condvar,
+}
+
+/// What a replica gather delivers: who answered, and that shard's local
+/// posting-list prefix for every expanded key.
+struct GatherOutcome {
+    replica: u32,
+    lists: Vec<Vec<(u32, f64)>>,
+}
+
+impl GatherSlot {
+    fn new() -> Self {
+        GatherSlot {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Deliver a gather result; only the first delivery is kept.
+    fn deliver(&self, replica: u32, lists: Vec<Vec<(u32, f64)>>) {
+        let mut slot = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(GatherOutcome { replica, lists });
+            self.ready.notify_all();
+        }
+    }
+
+    /// Wait up to `timeout` for a delivery; `None` means the gather is
+    /// straggling and the caller should consider hedging.
+    fn wait_for(&self, timeout: Duration) -> Option<GatherOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if guard.is_some() {
+                return guard.take();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+    }
+
+    /// Block until some gather delivers.
+    fn wait(&self) -> GatherOutcome {
+        let mut guard = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Launch one replica gather as a background task on the persistent
+/// pool. The task owns everything it touches (`Arc`s and copies), so an
+/// abandoned straggler — its sibling already won — finishes harmlessly
+/// in the background.
+///
+/// A gather against an artificially delayed replica (the
+/// [`ReplicatedShard::delay_replica`] fault hook) runs on a throwaway
+/// thread instead: a simulated straggler parked in `sleep` would
+/// otherwise occupy a resident worker and starve the very hedge it is
+/// supposed to lose to. Undelayed gathers — the production path — never
+/// spawn.
+fn spawn_gather(
+    pool: &PersistentPool,
+    shard: &ReplicatedShard,
+    replica: u32,
+    keys: &Arc<Vec<Key>>,
+    per_key: usize,
+    slot: &Arc<GatherSlot>,
+) {
+    let engine = Arc::clone(shard.engine_shared());
+    let delay = shard.contact_delay(replica);
+    let keys = Arc::clone(keys);
+    let slot = Arc::clone(slot);
+    let gather = move || {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let lists: Vec<Vec<(u32, f64)>> = keys
+            .iter()
+            .map(|key| engine.retriever().key_candidates(key, per_key).to_vec())
+            .collect();
+        slot.deliver(replica, lists);
+    };
+    if delay.is_zero() {
+        pool.spawn(gather);
+    } else {
+        std::thread::spawn(gather);
     }
 }
 
@@ -469,7 +839,34 @@ pub struct ShardedEngine {
     replicas: usize,
     index_config: IndexBuildConfig,
     retrieval: RetrievalConfig,
-    fanout: WorkerPool,
+    fanout: FanoutExec,
+    /// Configured fan-out width, reported truthfully even when hedging
+    /// widened the shared pool (hedging needs width ≥ 2 for its
+    /// background gathers).
+    fanout_threads: usize,
+    hedge: Option<HedgeRuntime>,
+}
+
+/// How a request's per-key shard gathers execute: inline on the calling
+/// thread (width 1), or stolen by the deployment's persistent parked
+/// pool. The enum keeps the width-1 path free of any queue interaction.
+#[derive(Debug, Clone)]
+enum FanoutExec {
+    Inline,
+    Pooled(Arc<PersistentPool>),
+}
+
+impl FanoutExec {
+    fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self {
+            FanoutExec::Inline => (0..jobs).map(f).collect(),
+            FanoutExec::Pooled(pool) => pool.run(jobs, f),
+        }
+    }
 }
 
 impl ShardedEngine {
@@ -490,6 +887,30 @@ impl ShardedEngine {
         topology: &ShardedEngineBuilder,
     ) -> ShardedEngine {
         debug_assert!(!engines.is_empty(), "callers reject all-empty builds");
+        // the persistent pool arrives through the topology so every
+        // generation of one deployment shares the same resident threads;
+        // the unwrap_or_else covers callers that construct topologies by
+        // hand without ensure_fanout_pool
+        let fanout = if topology.fanout_threads > 1 {
+            FanoutExec::Pooled(
+                topology
+                    .fanout_pool
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(PersistentPool::new(topology.fanout_threads))),
+            )
+        } else {
+            FanoutExec::Inline
+        };
+        let hedge = topology
+            .hedge_delay
+            .filter(|_| topology.replicas > 1)
+            .map(|delay| HedgeRuntime {
+                control: Arc::new(HedgeControl::new(delay)),
+                pool: topology
+                    .fanout_pool
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(PersistentPool::new(2))),
+            });
         ShardedEngine {
             shards: engines
                 .into_iter()
@@ -499,7 +920,9 @@ impl ShardedEngine {
             replicas: topology.replicas,
             index_config: topology.index,
             retrieval: topology.retrieval,
-            fanout: WorkerPool::new(topology.fanout_threads),
+            fanout,
+            fanout_threads: topology.fanout_threads,
+            hedge,
         }
     }
 
@@ -520,7 +943,7 @@ impl ShardedEngine {
 
     /// Threads each request's fan-out gathers run on (1 = inline).
     pub fn fanout_threads(&self) -> usize {
-        self.fanout.threads()
+        self.fanout_threads
     }
 
     /// One shard's replica set, by active-shard index.
@@ -559,6 +982,61 @@ impl ShardedEngine {
             .iter()
             .map(ReplicatedShard::serve_counts)
             .collect()
+    }
+
+    /// Set one replica's routing weight (0 drains it — see
+    /// [`ReplicatedShard::set_replica_weight`]).
+    pub fn set_replica_weight(&self, shard: usize, replica: usize, weight: u64) {
+        self.shards[shard].set_replica_weight(replica, weight);
+    }
+
+    /// Routing weights per replica per active shard.
+    pub fn replica_weights(&self) -> Vec<Vec<u64>> {
+        self.shards
+            .iter()
+            .map(ReplicatedShard::replica_weights)
+            .collect()
+    }
+
+    /// Test hook: add artificial contact latency to one replica's hedged
+    /// gathers (models a degraded machine).
+    pub fn delay_replica(&self, shard: usize, replica: usize, delay: Duration) {
+        self.shards[shard].delay_replica(replica, delay);
+    }
+
+    /// Start warming one replica: drain its routing weight so it stops
+    /// taking fresh traffic while the next generation loads (see
+    /// [`crate::runtime::warm_rollout`]).
+    pub fn begin_warmup(&self, shard: usize, replica: usize) {
+        self.shards[shard].begin_warmup(replica);
+    }
+
+    /// Finish warming one replica: label it with `generation` and restore
+    /// its routing weight.
+    pub fn finish_warmup(&self, shard: usize, replica: usize, generation: u64) {
+        self.shards[shard].finish_warmup(replica, generation);
+    }
+
+    /// Per-replica generation labels per active shard (0 = unlabeled).
+    pub fn replica_generations(&self) -> Vec<Vec<u64>> {
+        self.shards
+            .iter()
+            .map(ReplicatedShard::replica_generations)
+            .collect()
+    }
+
+    /// Label every replica of every shard with `generation` (a freshly
+    /// built or loaded deployment carries one generation everywhere).
+    pub fn label_generations(&self, generation: u64) {
+        for shard in &self.shards {
+            shard.label_generations(generation);
+        }
+    }
+
+    /// The hedging control surface, when hedged requests are enabled
+    /// (requires [`ShardedEngineBuilder::hedge_delay`] and replicas ≥ 2).
+    pub fn hedge_control(&self) -> Option<&Arc<HedgeControl>> {
+        self.hedge.as_ref().map(|h| &h.control)
     }
 
     /// The index-construction configuration every shard was built with.
@@ -616,6 +1094,9 @@ impl ShardedEngine {
     /// order after the gather, so the parallel fan-out reports exactly
     /// the sequential stats.
     pub fn retrieve(&self, request: &Request) -> Result<RetrievalResponse, RetrievalError> {
+        if let Some(hedge) = &self.hedge {
+            return self.retrieve_hedged(request, hedge);
+        }
         let route = self.route()?;
         let mut stats = RetrievalStats::default();
         let mut keys = Vec::new();
@@ -628,6 +1109,97 @@ impl ShardedEngine {
         let merged: Vec<Vec<(u32, f64)>> = self
             .fanout
             .run(keys.len(), |i| self.merged_candidates(&keys[i]));
+        for list in &merged {
+            stats.postings_scanned += list.len();
+        }
+        let candidates: Vec<&[(u32, f64)]> = merged.iter().map(Vec::as_slice).collect();
+        let mut scratch = HashMap::new();
+        let ads = score_candidates(
+            &keys,
+            &candidates,
+            self.retrieval.final_top_n,
+            &mut scratch,
+            &mut stats,
+        );
+        stats.served_by = route;
+        if ads.is_empty() {
+            return Err(RetrievalError::NoCoverage {
+                query: request.query,
+                stats,
+            });
+        }
+        Ok(RetrievalResponse { ads, stats })
+    }
+
+    /// The hedged serving path: per shard, contact one picked replica as
+    /// a background gather on the persistent pool; if it has not
+    /// answered within the hedge delay, re-issue the gather to a sibling
+    /// replica and take whichever delivers first.
+    /// [`RetrievalStats::served_by`] records the winner — the loser's
+    /// gather finishes harmlessly in the background (it owns its data).
+    ///
+    /// The per-key merge re-implements [`ShardedEngine::merged_candidates`]
+    /// over the gathered per-shard lists — same `(distance, id)` order,
+    /// same global cut — so the hedged path is *logically* byte-identical
+    /// to the unhedged one (parity-tested below): replicas serve
+    /// identical data, so hedging can only change the route, never the
+    /// ranking. Batches do not hedge: [`ShardedEngine::retrieve_batch`]
+    /// amortises gathers across requests, which already bounds the
+    /// per-request straggler cost hedging exists to cut.
+    fn retrieve_hedged(
+        &self,
+        request: &Request,
+        hedge: &HedgeRuntime,
+    ) -> Result<RetrievalResponse, RetrievalError> {
+        let mut stats = RetrievalStats::default();
+        let mut keys = Vec::new();
+        self.shards[0].engine().retriever().expand_keys_into(
+            request.query,
+            &request.preclick_items,
+            &mut stats,
+            &mut keys,
+        );
+        let keys = Arc::new(keys);
+        let per_key = self.retrieval.ads_per_key;
+        let global_cut = per_key.min(self.index_config.top_k);
+        let mut route = Vec::with_capacity(self.shards.len());
+        let mut per_shard: Vec<Vec<Vec<(u32, f64)>>> = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            let primary = shard.pick(s)?;
+            let slot = Arc::new(GatherSlot::new());
+            spawn_gather(&hedge.pool, shard, primary, &keys, per_key, &slot);
+            let outcome = match slot.wait_for(hedge.control.delay()) {
+                Some(outcome) => outcome,
+                None => {
+                    // the primary is straggling: hedge to a sibling and
+                    // take the first response (no sibling → keep waiting)
+                    if let Some(sibling) = shard.pick_sibling(primary) {
+                        hedge.control.issued.fetch_add(1, Ordering::Relaxed);
+                        spawn_gather(&hedge.pool, shard, sibling, &keys, per_key, &slot);
+                    }
+                    slot.wait()
+                }
+            };
+            if outcome.replica != primary {
+                hedge.control.won.fetch_add(1, Ordering::Relaxed);
+            }
+            route.push(ReplicaId {
+                shard: s as u32,
+                replica: outcome.replica,
+            });
+            per_shard.push(outcome.lists);
+        }
+        let merged: Vec<Vec<(u32, f64)>> = (0..keys.len())
+            .map(|k| {
+                let mut list: Vec<(u32, f64)> = Vec::new();
+                for lists in &per_shard {
+                    list.extend_from_slice(&lists[k]);
+                }
+                list.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                list.truncate(global_cut);
+                list
+            })
+            .collect();
         for list in &merged {
             stats.postings_scanned += list.len();
         }
@@ -1260,5 +1832,241 @@ mod tests {
         // one restored replica brings the whole cluster back
         engine.restore_replica(1, 0);
         assert!(engine.retrieve(&requests[0]).is_ok());
+    }
+
+    fn hedged_engine(inputs: &IndexBuildInputs, delay: Duration) -> ShardedEngine {
+        ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .top_k(8)
+            .threads(1)
+            .build_threads(1)
+            .hedge_delay(delay)
+            .build(inputs)
+            .unwrap()
+    }
+
+    /// Hedging is a latency tactic, not a ranking change: replicas serve
+    /// identical data, so the hedged path must be logically identical to
+    /// the unhedged one — responses, stats, and errors alike.
+    #[test]
+    fn hedged_serving_is_logically_identical_to_unhedged() {
+        let inputs = tiny_inputs();
+        let plain = sharded_engine(&inputs, 2, 8);
+        // generous delay: hedges are not expected to fire, but a spurious
+        // one must not change the logical outcome either
+        let hedged = hedged_engine(&inputs, Duration::from_millis(50));
+        assert!(hedged.hedge_control().is_some());
+        assert!(plain.hedge_control().is_none());
+        for request in fixed_requests(8) {
+            assert_eq!(
+                logical(plain.retrieve(&request)),
+                logical(hedged.retrieve(&request)),
+                "hedged serving diverged on {request:?}"
+            );
+        }
+        // unknown queries surface the same typed error through both paths
+        let unknown = Request {
+            query: 9999,
+            preclick_items: vec![],
+        };
+        assert_eq!(
+            logical(plain.retrieve(&unknown)),
+            logical(hedged.retrieve(&unknown))
+        );
+        // batches do not hedge, and stay topology-invariant regardless
+        let mut requests = fixed_requests(5);
+        requests.push(requests[1].clone());
+        let a: Vec<_> = plain
+            .retrieve_batch(&requests)
+            .into_iter()
+            .map(logical)
+            .collect();
+        let b: Vec<_> = hedged
+            .retrieve_batch(&requests)
+            .into_iter()
+            .map(logical)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    /// The acceptance-criterion hedging property: with one replica
+    /// degraded far past the hedge delay, every request hedges to the
+    /// sibling, the sibling wins the race (the route proves it), and the
+    /// ranking never changes.
+    #[test]
+    fn a_slow_replica_loses_the_hedge_race_to_its_sibling() {
+        let inputs = tiny_inputs();
+        let reference = sharded_engine(&inputs, 2, 8);
+        let engine = hedged_engine(&inputs, Duration::from_millis(2));
+        // shard 0, replica 0 turns into a straggler: every contact takes
+        // 20x the hedge delay
+        engine.delay_replica(0, 0, Duration::from_millis(40));
+        let requests = fixed_requests(6);
+        for request in &requests {
+            let response = engine.retrieve(request).unwrap();
+            assert_eq!(
+                response.stats.served_by[0].replica, 1,
+                "the hedged sibling must win against the degraded replica"
+            );
+            assert_eq!(
+                logical(Ok(response)),
+                logical(reference.retrieve(request)),
+                "hedging changed a ranking"
+            );
+        }
+        let control = engine.hedge_control().unwrap();
+        assert!(
+            control.issued() >= requests.len() as u64,
+            "every shard-0 request must have hedged (issued {})",
+            control.issued()
+        );
+        let wins = control.wins();
+        assert!(wins >= 1, "the sibling must win at least once");
+        assert!(wins <= control.issued(), "wins cannot exceed issues");
+        // the hedge delay is a live knob
+        control.set_delay(Duration::from_millis(7));
+        assert_eq!(control.delay(), Duration::from_millis(7));
+    }
+
+    /// Fault tests for the hedged path: a poisoned replica fails over at
+    /// pick time exactly like the unhedged router (and is marked down),
+    /// and losing every replica of a shard stays the typed
+    /// `ShardUnavailable` error.
+    #[test]
+    fn hedged_path_survives_poisoned_replicas_and_types_total_loss() {
+        let inputs = tiny_inputs();
+        let reference = sharded_engine(&inputs, 2, 8);
+        let engine = hedged_engine(&inputs, Duration::from_millis(5));
+        let request = Request {
+            query: 3,
+            preclick_items: vec![103],
+        };
+        let expected = logical(reference.retrieve(&request));
+        // fresh cursor picks replica 0 first on shard 0 — poison it
+        engine.poison_replica(0, 0);
+        let response = engine.retrieve(&request).unwrap();
+        assert_eq!(
+            response.stats.served_by[0].replica, 1,
+            "the poisoned primary must fail over before any gather"
+        );
+        assert_eq!(engine.shard(0).healthy_replicas(), 1);
+        assert_eq!(
+            logical(Ok(response)),
+            expected,
+            "failover changed a ranking"
+        );
+        // now lose the last replica of shard 0: a typed error, no panic,
+        // no hang waiting on gathers that can never arrive
+        engine.fail_replica(0, 1);
+        assert_eq!(
+            engine.retrieve(&request).unwrap_err(),
+            RetrievalError::ShardUnavailable {
+                shard: 0,
+                replicas: 2
+            }
+        );
+        // restoring any replica resumes identical serving
+        engine.restore_replica(0, 0);
+        assert_eq!(logical(engine.retrieve(&request)), expected);
+    }
+
+    /// Weighted routing: the cursor-driven inverse-CDF honours integer
+    /// weights deterministically, degenerates to round-robin at equal
+    /// weights (pinned by `round_robin_spreads_requests_across_replicas`),
+    /// and weight changes never touch rankings — only routes.
+    #[test]
+    fn replica_weights_steer_traffic_without_changing_rankings() {
+        let inputs = tiny_inputs();
+        let reference = sharded_engine(&inputs, 2, 8);
+        let engine = ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .top_k(8)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        engine.set_replica_weight(0, 0, 3);
+        assert_eq!(engine.replica_weights()[0], vec![3, 1]);
+        let requests = fixed_requests(8);
+        for request in &requests {
+            assert_eq!(
+                logical(engine.retrieve(request)),
+                logical(reference.retrieve(request)),
+                "weights must never change a ranking"
+            );
+        }
+        // weights 3:1 over a cursor of 8 requests = exactly 6:2
+        assert_eq!(engine.replica_serves()[0], vec![6, 2]);
+        // draining one replica (weight 0) sends everything to its sibling
+        engine.set_replica_weight(0, 0, 0);
+        for request in &requests {
+            let response = engine.retrieve(request).unwrap();
+            assert_eq!(
+                response.stats.served_by[0].replica, 1,
+                "a drained replica must receive no fresh traffic"
+            );
+        }
+        // draining *every* replica: availability beats draining — plain
+        // round-robin over the healthy set takes over
+        engine.set_replica_weight(0, 1, 0);
+        let before = engine.replica_serves()[0].clone();
+        for request in &requests {
+            assert!(engine.retrieve(request).is_ok());
+        }
+        let after = engine.replica_serves()[0].clone();
+        assert_eq!(
+            (after[0] - before[0]) + (after[1] - before[1]),
+            requests.len() as u64,
+            "an all-drained shard still serves every request"
+        );
+        assert!(after[0] > before[0] && after[1] > before[1]);
+    }
+
+    /// The warm-up drain protocol a generation rollout uses: draining a
+    /// replica reroutes its traffic, finishing restores it and labels the
+    /// generation it now carries — with serving identical throughout.
+    #[test]
+    fn warmup_drains_labels_and_restores_replicas() {
+        let engine = ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .top_k(8)
+            .threads(1)
+            .build(&tiny_inputs())
+            .unwrap();
+        let requests = fixed_requests(6);
+        let healthy: Vec<_> = requests
+            .iter()
+            .map(|r| logical(engine.retrieve(r)))
+            .collect();
+        assert!(engine
+            .replica_generations()
+            .iter()
+            .all(|shard| shard.iter().all(|&g| g == 0)));
+        engine.begin_warmup(0, 1);
+        assert_eq!(engine.replica_weights()[0], vec![1, 0]);
+        for (request, expected) in requests.iter().zip(&healthy) {
+            let result = engine.retrieve(request);
+            assert_eq!(
+                result.as_ref().unwrap().stats.served_by[0].replica,
+                0,
+                "traffic avoids the warming replica"
+            );
+            assert_eq!(&logical(result), expected, "warm-up changed a response");
+        }
+        engine.finish_warmup(0, 1, 7);
+        assert_eq!(engine.replica_weights()[0], vec![1, 1]);
+        assert_eq!(engine.replica_generations()[0], vec![0, 7]);
+        assert_eq!(engine.replica_generations()[1], vec![0, 0]);
+        // a whole-deployment label stamps every replica at once
+        engine.label_generations(9);
+        assert!(engine
+            .replica_generations()
+            .iter()
+            .all(|shard| shard.iter().all(|&g| g == 9)));
+        for (request, expected) in requests.iter().zip(&healthy) {
+            assert_eq!(&logical(engine.retrieve(request)), expected);
+        }
     }
 }

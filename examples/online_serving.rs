@@ -16,12 +16,15 @@
 //! cargo run --release --example online_serving
 //! ```
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use amcad::core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad::eval::TextTable;
 use amcad::mnn::{HnswConfig, IndexBackend, IvfConfig};
 use amcad::retrieval::{
-    CoverageSource, Request, RetrievalEngine, Retrieve, ServingConfig, ServingSimulator,
-    ShardedEngine,
+    CoverageSource, Request, RetrievalEngine, Retrieve, RuntimeConfig, Scenario, ServingConfig,
+    ServingRuntime, ServingSimulator, ShardedEngine,
 };
 
 fn main() {
@@ -245,5 +248,105 @@ fn main() {
     println!(
         "one replica restored -> serving again: {}",
         replicated.retrieve(&probe).is_ok()
+    );
+
+    // Persistent serving runtime: a bounded admission queue with per-request
+    // deadlines in front of a hedged 2x2 deployment. A flash crowd far past
+    // what one worker can drain sheds at the queue with a typed
+    // `Overloaded` error instead of letting latency grow without bound,
+    // and the recovery phase goes back to serving everything.
+    println!("\n== Serving runtime: flash-crowd shedding, then hedged recovery ==\n");
+    let hedged = Arc::new(
+        ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .fanout_threads(2)
+            .hedge_delay(Duration::from_millis(1))
+            .index(*result.engine.index_config())
+            .build(&inputs)
+            .expect("pipeline inputs build a valid hedged engine"),
+    );
+    let hedge = Arc::clone(hedged.hedge_control().expect("replicas > 1 enable hedging"));
+    let runtime = ServingRuntime::new(
+        Arc::clone(&hedged) as Arc<dyn Retrieve>,
+        RuntimeConfig {
+            workers: 1,
+            queue_depth: 16,
+            deadline: Duration::from_secs(1),
+            batch_size: 4,
+        },
+    )
+    .expect("a positive worker count and queue depth are valid")
+    .with_hedge_metrics(Arc::clone(&hedge));
+    // base phases arrive 10 ms apart — generous headroom over the tiny
+    // corpus' sub-millisecond service time, so only the spike can shed
+    let scenario = Scenario::flash_crowd(100.0, 5_000_000.0, 60, 2_000);
+    let reports = runtime.run_scenario(&requests, &scenario);
+    let mut crowd_table = TextTable::new(vec![
+        "Phase",
+        "Offered QPS",
+        "Completed",
+        "Shed",
+        "Goodput QPS",
+        "p99 (ms)",
+    ]);
+    for (phase, r) in scenario.phases.iter().zip(&reports) {
+        crowd_table.row(vec![
+            phase.label.to_string(),
+            format!("{:.0}", r.offered_qps),
+            format!("{}", r.completed),
+            format!("{}", r.shed),
+            format!("{:.0}", r.goodput_qps),
+            format!("{:.3}", r.p99_ms),
+        ]);
+    }
+    println!("{}", crowd_table.render());
+    assert_eq!(reports[0].shed, 0, "base load fits in the queue");
+    assert!(reports[1].shed > 0, "the spike must shed at the queue");
+    assert_eq!(
+        reports[1].completed + reports[1].shed,
+        2_000,
+        "every spike request is accounted for"
+    );
+    assert_eq!(reports[2].shed, 0, "dropping the load restores zero-shed");
+    println!(
+        "the spike shed {} requests at the admission queue; the recovery",
+        reports[1].shed
+    );
+    println!("phase served everything again — overload degrades by typed refusal,");
+    println!("not by unbounded queueing.\n");
+
+    // Hedged recovery: degrade one replica of shard 0 so its gathers
+    // straggle well past the hedge delay. The runtime keeps serving through
+    // the same queue while every request to that shard is re-issued to the
+    // healthy sibling, which wins the race — rankings unchanged.
+    let reference: Vec<_> = requests
+        .iter()
+        .take(8)
+        .map(|r| hedged.retrieve(r).map(|resp| resp.ads))
+        .collect();
+    let (issued_before, wins_before) = (hedge.issued(), hedge.wins());
+    hedged.delay_replica(0, 0, Duration::from_millis(10));
+    for (r, healthy_ads) in requests.iter().take(8).zip(&reference) {
+        let degraded = runtime.retrieve_blocking(r).map(|resp| resp.ads);
+        assert_eq!(
+            &degraded, healthy_ads,
+            "hedging changes routes, never rankings"
+        );
+    }
+    let issued = hedge.issued() - issued_before;
+    let wins = hedge.wins() - wins_before;
+    assert!(issued > 0, "a 10ms straggler must trigger 1ms hedges");
+    assert!(wins > 0, "the healthy sibling wins at least one race");
+    println!("degraded replica 0 of shard 0 by 10ms against a 1ms hedge delay:");
+    println!(
+        "{issued} hedge sub-requests issued, {wins} won by the sibling replica — all 8 \
+         rankings identical to the healthy run."
+    );
+    hedged.delay_replica(0, 0, Duration::ZERO);
+    let stats = runtime.stats();
+    println!(
+        "runtime counters: {} admitted, {} completed, {} shed at the queue, {} shed past deadline",
+        stats.admitted, stats.completed, stats.shed_queue_full, stats.shed_deadline
     );
 }

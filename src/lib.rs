@@ -14,7 +14,7 @@
 //! | [`datagen`] | `amcad-datagen` | synthetic sponsored-search behaviour-log generator |
 //! | [`model`] | `amcad-model` | the adaptive mixed-curvature model family + walk baselines |
 //! | [`mnn`] | `amcad-mnn` | pluggable ANN backends (`AnnIndex`): exact parallel scan, tangent-space IVF |
-//! | [`retrieval`] | `amcad-retrieval` | the serving triad — `Retrieve` trait, `RetrievalEngine` / `ShardedEngine`, hot-swappable `EngineHandle` — plus delta publishes and the load simulator |
+//! | [`retrieval`] | `amcad-retrieval` | the serving triad — `Retrieve` trait, `RetrievalEngine` / `ShardedEngine`, hot-swappable `EngineHandle` — plus delta publishes, durable snapshots and the serving runtime |
 //! | [`eval`] | `amcad-eval` | ranking metrics and the A/B click/revenue simulator |
 //! | [`core`] | `amcad-core` | the end-to-end pipeline and the offline evaluation protocol |
 //!
@@ -139,13 +139,36 @@
 //! lifecycle and `table9_scalability` for the measured delta-vs-full
 //! wall clock.
 //!
+//! ## The serving runtime: admission control, deadlines, hedging
+//!
+//! In production, correctness under load matters as much as correctness
+//! of rankings. The [`retrieval::ServingRuntime`] puts a bounded
+//! admission queue with per-request deadlines in front of any
+//! `Arc<dyn Retrieve>`: when traffic outruns the workers, excess
+//! requests are *shed* with the typed
+//! `RetrievalError::Overloaded { queue_depth, deadline }` instead of
+//! queueing without bound, requests that age past their deadline while
+//! queued are shed rather than answered late, and queued neighbours are
+//! drained into one scan-deduplicated `retrieve_batch` call. All serving
+//! fan-out (shard gathers, batch dedup) runs on the long-lived parked
+//! workers of [`retrieval::PersistentPool`] — no per-request thread
+//! spawns. With `ShardedEngineBuilder::hedge_delay` and replicas ≥ 2, a
+//! straggling shard gather is re-issued to a sibling replica after a
+//! p9x-derived delay and the first response wins; per-replica weights
+//! and `retrieval::warm_rollout` drain and relabel one replica at a
+//! time so a deployment keeps serving generation G while G+1 warms from
+//! a snapshot. `retrieval::Scenario` traffic (flash crowds, Zipf
+//! popularity) drives it open-loop via `ServingRuntime::run_scenario`,
+//! reporting shed / timeout / hedge counts and goodput per phase.
+//!
 //! The `PipelineConfig::with_backend` knob threads the backend selection
 //! through the one-call pipeline, and `ServingSimulator` load-tests any
 //! [`retrieval::Retrieve`] implementation (see
-//! `examples/online_serving.rs` for the topology sweep,
+//! `examples/online_serving.rs` for the topology sweep plus the
+//! flash-crowd shedding and hedged-recovery runtime demo,
 //! `examples/incremental_training.rs` for the rebuild-and-publish loop,
 //! and the `fig9_serving_latency` / `table9_scalability` benchmark
-//! binaries for the latency and shard-count sweeps).
+//! binaries for the latency, shard-count and offered-QPS-ladder sweeps).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the

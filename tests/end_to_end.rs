@@ -10,8 +10,10 @@ use amcad::graph::{NodeId, NodeType};
 use amcad::model::{PairScorer, RelationKind, SgnsConfig, SgnsModel, WalkStrategy};
 use amcad::retrieval::{
     EngineHandle, IndexDelta, Request, RetrievalEngine, RetrievalError, RetrievalResponse,
-    Retrieve, ShardedDeltaBuilder, ShardedEngine,
+    Retrieve, RuntimeConfig, ServingRuntime, ShardedDeltaBuilder, ShardedEngine,
 };
+use std::sync::Arc;
+use std::time::Duration;
 
 fn pipeline_result() -> amcad::core::PipelineResult {
     Pipeline::new(PipelineConfig::small(2024)).run()
@@ -355,6 +357,147 @@ fn replica_failover_preserves_every_ranking_over_real_pipeline_output() {
     ));
     sharded.restore_replica(0, 0);
     assert_eq!(logical(sharded.retrieve(&requests[0])), healthy[0]);
+}
+
+#[test]
+fn persistent_pool_fanout_is_byte_identical_to_sequential_across_topologies() {
+    // The acceptance-criterion parity property for the serving runtime's
+    // persistent pool: across shards 1/2/4 x replicas 1/2, an engine
+    // fanning out on resident parked workers serves **byte-identically**
+    // to the sequential build — every ranking, every logical stat, every
+    // physical route, the batch dedup attribution, and every typed error.
+    let result = pipeline_result();
+    let inputs = build_index_inputs(&result.export, &result.dataset);
+    let index_config = *result.engine.index_config();
+    let mut requests: Vec<Request> = result
+        .dataset
+        .eval_sessions
+        .iter()
+        .take(16)
+        .map(|s| Request {
+            query: s.query.0,
+            preclick_items: result
+                .dataset
+                .preclick_items(s)
+                .iter()
+                .map(|n| n.0)
+                .collect(),
+        })
+        .collect();
+    // an unknown query exercises the typed error path through the pool
+    requests.push(Request {
+        query: u32::MAX,
+        preclick_items: vec![],
+    });
+    for shards in [1usize, 2, 4] {
+        for replicas in [1usize, 2] {
+            let build = |fanout_threads: usize| {
+                ShardedEngine::builder()
+                    .shards(shards)
+                    .replicas(replicas)
+                    .index(index_config)
+                    .build_threads(1)
+                    .fanout_threads(fanout_threads)
+                    .build(&inputs)
+                    .expect("pipeline inputs build a valid sharded engine")
+            };
+            let sequential = build(1);
+            let pooled = build(4);
+            for request in &requests {
+                assert_eq!(
+                    sequential.retrieve(request),
+                    pooled.retrieve(request),
+                    "{shards} shards x {replicas} replicas: pooled fan-out diverged"
+                );
+            }
+            // the batch path with repeats: cross-request dedup gathers on
+            // the pool, attribution must still be byte-identical
+            let mut batch = requests.clone();
+            batch.push(requests[0].clone());
+            batch.push(requests[2].clone());
+            assert_eq!(
+                sequential.retrieve_batch(&batch),
+                pooled.retrieve_batch(&batch),
+                "{shards} shards x {replicas} replicas: pooled batch diverged"
+            );
+            // error case: a dead shard types identically through the pool
+            sequential.fail_replica(0, 0);
+            pooled.fail_replica(0, 0);
+            if replicas == 1 {
+                for request in &requests {
+                    assert_eq!(
+                        sequential.retrieve(request),
+                        pooled.retrieve(request),
+                        "dead-shard errors must match"
+                    );
+                }
+            }
+            sequential.restore_replica(0, 0);
+            pooled.restore_replica(0, 0);
+        }
+    }
+    // the same engine behind the ServingRuntime: admitted tickets serve
+    // the engine's exact responses (single path), and a burst through the
+    // batching workers preserves every ranking
+    let sequential = ShardedEngine::builder()
+        .shards(2)
+        .replicas(2)
+        .index(index_config)
+        .build_threads(1)
+        .fanout_threads(1)
+        .build(&inputs)
+        .expect("pipeline inputs build a valid sharded engine");
+    let pooled = Arc::new(
+        ShardedEngine::builder()
+            .shards(2)
+            .replicas(2)
+            .index(index_config)
+            .build_threads(1)
+            .fanout_threads(4)
+            .build(&inputs)
+            .expect("pipeline inputs build a valid sharded engine"),
+    );
+    let runtime = ServingRuntime::new(
+        pooled,
+        RuntimeConfig {
+            workers: 1,
+            queue_depth: 64,
+            deadline: Duration::from_secs(30),
+            batch_size: 4,
+        },
+    )
+    .expect("a valid runtime config");
+    for request in &requests {
+        assert_eq!(
+            logical(sequential.retrieve(request)),
+            logical(runtime.retrieve_blocking(request)),
+            "the runtime must serve the engine's exact logical response"
+        );
+    }
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|r| runtime.submit(r.clone()).expect("queue is deep enough"))
+        .collect();
+    for (request, ticket) in requests.iter().zip(tickets) {
+        let expected = sequential.retrieve(request).map(|r| r.ads);
+        let got = ticket.wait().map(|r| r.ads);
+        assert_eq!(
+            logical_ads(expected),
+            logical_ads(got),
+            "a batched runtime pass changed a ranking"
+        );
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.shed_queue_full + stats.shed_deadline, 0);
+    assert_eq!(stats.admitted, stats.completed);
+}
+
+/// Rankings only (batch grouping inside the runtime is timing-dependent,
+/// so scan-dedup attribution may differ; rankings never may).
+fn logical_ads(
+    result: Result<Vec<amcad::retrieval::RetrievedAd>, RetrievalError>,
+) -> Result<Vec<amcad::retrieval::RetrievedAd>, RetrievalError> {
+    result.map_err(RetrievalError::logical)
 }
 
 #[test]
