@@ -1,0 +1,286 @@
+//! `amcad-lint` — the workspace's offline invariant checker.
+//!
+//! `cargo test` samples behaviour; the contracts this crate enforces
+//! are *structural*: the snapshot decoder must be panic-free on
+//! hostile bytes, every `unsafe` carries its proof obligation in a
+//! `SAFETY:` comment, every `Ordering::Relaxed` says why no
+//! happens-before edge is needed, NaN-unsafe float orderings stay out,
+//! threads are spawned only by the runtime and the build pool, and
+//! locks come from the poison-ignoring `parking_lot` stub. Clippy
+//! cannot express project-specific rules and this environment has no
+//! registry access (no dylint), so — like the `crates/compat/` stubs —
+//! the analyzer is built in-workspace: a hand-rolled lexer
+//! ([`lexer`]) and token-pattern rules ([`rules`]), no full parser.
+//!
+//! A violation a human has vetted is waived in place:
+//!
+//! ```text
+//! // amcad-lint: allow(no-std-sync-primitives) — Condvar requires std MutexGuard
+//! ```
+//!
+//! The reason text after the rule name is **mandatory**; an allow
+//! without one is itself an (unwaivable) diagnostic, as is an allow
+//! naming a rule that does not exist. See `src/README.md` for the
+//! contract behind each rule.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{LexedFile, LineKind};
+use rules::RawDiagnostic;
+
+/// One finding, resolved against the file's allow directives.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule name, or a meta rule (`allow-missing-reason`,
+    /// `allow-unknown-rule`) for malformed directives.
+    pub rule: &'static str,
+    pub message: String,
+    /// Whether a well-formed `allow(...)` waiver directive with a
+    /// reason covers this finding. Meta diagnostics are never waived.
+    pub waived: bool,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed, well-formed `allow(<rule>) — <reason>` waiver directive.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    /// The code line the directive shields: the directive's own line
+    /// for a trailing comment, else the next code line below it.
+    target_line: usize,
+}
+
+/// Meta rule name: an allow directive without the mandatory reason.
+pub const META_MISSING_REASON: &str = "allow-missing-reason";
+/// Meta rule name: an allow directive naming an unknown rule.
+pub const META_UNKNOWN_RULE: &str = "allow-unknown-rule";
+
+const DIRECTIVE: &str = "amcad-lint:";
+
+/// Extract allow directives (and meta diagnostics for malformed ones)
+/// from a file's comments.
+fn parse_allows(file: &LexedFile) -> (Vec<Allow>, Vec<RawDiagnostic>) {
+    let mut allows = Vec::new();
+    let mut meta = Vec::new();
+    for comment in &file.comments {
+        let mut rest = comment.text.as_str();
+        while let Some(at) = rest.find(DIRECTIVE) {
+            rest = &rest[at + DIRECTIVE.len()..];
+            let body = rest.trim_start();
+            let Some(args) = body.strip_prefix("allow(") else {
+                meta.push(RawDiagnostic {
+                    rule: META_UNKNOWN_RULE,
+                    line: comment.start_line,
+                    message: format!(
+                        "malformed directive — expected `{DIRECTIVE} allow(<rule>) — <reason>`"
+                    ),
+                });
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                meta.push(RawDiagnostic {
+                    rule: META_UNKNOWN_RULE,
+                    line: comment.start_line,
+                    message: "unclosed allow( directive".to_string(),
+                });
+                break;
+            };
+            let rule = args[..close].trim();
+            rest = &args[close + 1..];
+            if !rules::RULE_NAMES.contains(&rule) {
+                meta.push(RawDiagnostic {
+                    rule: META_UNKNOWN_RULE,
+                    line: comment.start_line,
+                    message: format!("allow({rule}) names no known rule"),
+                });
+                continue;
+            }
+            // the reason is mandatory: strip the separator the
+            // convention uses (— or - or :) and demand nonempty text
+            // up to the end of the comment / the next directive
+            let upto = rest.find(DIRECTIVE).unwrap_or(rest.len());
+            let reason = rest[..upto]
+                .trim_start_matches(|c: char| {
+                    c.is_whitespace() || c == '\u{2014}' || c == '\u{2013}' || c == '-' || c == ':'
+                })
+                .trim_end_matches(['*', '/'])
+                .trim();
+            if reason.is_empty() {
+                meta.push(RawDiagnostic {
+                    rule: META_MISSING_REASON,
+                    line: comment.start_line,
+                    message: format!(
+                        "allow({rule}) has no reason — waivers must say why the rule does not apply"
+                    ),
+                });
+                continue;
+            }
+            let target_line = if file.line_kind(comment.start_line) == LineKind::Code {
+                comment.start_line // trailing comment shields its own line
+            } else {
+                file.next_code_line(comment.end_line + 1)
+                    .unwrap_or(comment.end_line)
+            };
+            allows.push(Allow {
+                rule: rule.to_string(),
+                target_line,
+            });
+        }
+    }
+    (allows, meta)
+}
+
+/// Lint one source string. `path` is the workspace-relative path used
+/// for location-scoped rules and reporting; `all_test` marks files
+/// that live under `tests/` or `benches/` (everything in them is test
+/// code).
+pub fn lint_source(path: &str, source: &str, all_test: bool) -> Vec<Diagnostic> {
+    let file = lexer::lex(source);
+    let (allows, meta) = parse_allows(&file);
+    let mut out: Vec<Diagnostic> = rules::run_rules(path, &file, all_test)
+        .into_iter()
+        .map(|raw| {
+            let waived = allows
+                .iter()
+                .any(|a| a.rule == raw.rule && a.target_line == raw.line);
+            Diagnostic {
+                path: path.to_string(),
+                line: raw.line,
+                rule: raw.rule,
+                message: raw.message,
+                waived,
+            }
+        })
+        .collect();
+    if !all_test {
+        out.extend(meta.into_iter().map(|raw| Diagnostic {
+            path: path.to_string(),
+            line: raw.line,
+            rule: raw.rule,
+            message: raw.message,
+            waived: false,
+        }));
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    out
+}
+
+/// Directories never descended into: build output, VCS metadata, and
+/// the compat stubs (vendored stand-ins for external crates — they
+/// mirror *other* projects' APIs, including `std::sync` re-exports, so
+/// the workspace rules do not apply to them).
+fn skip_dir(path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return true;
+    };
+    if name == "target" || name.starts_with('.') {
+        return true;
+    }
+    name == "compat"
+        && path
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+            == Some("crates")
+}
+
+/// Recursively collect every `.rs` file under `dir`.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if !skip_dir(&path) {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Whether a path component marks the file as wholly test code.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Lint one file on disk. `root` anchors the workspace-relative path
+/// used in reports.
+pub fn lint_file(root: &Path, path: &Path) -> Vec<Diagnostic> {
+    let rel: String = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let Ok(source) = std::fs::read_to_string(path) else {
+        // unreadable / non-UTF-8 source never reaches rustc either
+        return Vec::new();
+    };
+    lint_source(&rel, &source, is_test_path(&rel))
+}
+
+/// Lint every `.rs` file under `root` (or, if `paths` is nonempty,
+/// under each given file/directory).
+pub fn lint_workspace(root: &Path, paths: &[PathBuf]) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    if paths.is_empty() {
+        collect_rs_files(root, &mut files);
+    } else {
+        for p in paths {
+            let p = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(p)
+            };
+            if p.is_dir() {
+                collect_rs_files(&p, &mut files);
+            } else {
+                files.push(p);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for file in files {
+        out.extend(lint_file(root, &file));
+    }
+    out
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI driver: `cargo run -p amcad-lint -- --deny [paths…]`
+//!
+//! Walks the workspace (or the given files/directories), prints every
+//! diagnostic plus a per-rule summary, and — with `--deny` — exits
+//! nonzero if any unwaived diagnostic remains. CI runs this ahead of
+//! the test jobs.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                println!("usage: amcad-lint [--deny] [paths…]");
+                println!("lints the workspace (default: all .rs files under the workspace root,");
+                println!("skipping target/, crates/compat/, and dotdirs); --deny exits nonzero");
+                println!(
+                    "on any diagnostic not waived by `// amcad-lint: allow(<rule>) — <reason>`"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(cwd) => cwd,
+        Err(err) => {
+            eprintln!("amcad-lint: cannot determine working directory: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = amcad_lint::find_workspace_root(&cwd);
+    let diagnostics = amcad_lint::lint_workspace(&root, &paths);
+
+    // per-rule tallies: (unwaived, waived)
+    let mut tally: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    for d in &diagnostics {
+        let entry = tally.entry(d.rule).or_insert((0, 0));
+        if d.waived {
+            entry.1 += 1;
+        } else {
+            entry.0 += 1;
+        }
+    }
+    for d in diagnostics.iter().filter(|d| !d.waived) {
+        println!("{d}");
+    }
+
+    let unwaived: usize = tally.values().map(|(u, _)| u).sum();
+    let waived: usize = tally.values().map(|(_, w)| w).sum();
+    println!();
+    println!("rule summary ({} unwaived, {} waived):", unwaived, waived);
+    for (rule, (u, w)) in &tally {
+        println!("  {rule:<24} {u} unwaived, {w} waived");
+    }
+    if tally.is_empty() {
+        println!("  (no diagnostics)");
+    }
+
+    if deny && unwaived > 0 {
+        eprintln!("amcad-lint --deny: {unwaived} unwaived diagnostic(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,32 @@
+//! The enforcement test: the workspace itself must be clean under
+//! every rule. This is the same walk `cargo run -p amcad-lint -- --deny`
+//! performs in CI, wired into `cargo test --workspace` so the contract
+//! cannot drift even where CI is not run.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaived_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diagnostics = amcad_lint::lint_workspace(&root, &[]);
+    let unwaived: Vec<String> = diagnostics
+        .iter()
+        .filter(|d| !d.waived)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        unwaived.is_empty(),
+        "the workspace violates its own invariants:\n{}\nfix the site or add an \
+         `amcad-lint: allow(<rule>)` waiver with a reason",
+        unwaived.join("\n")
+    );
+}

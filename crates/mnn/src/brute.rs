@@ -185,6 +185,7 @@ pub fn build_exact_index(
         }
     } else {
         let chunk = n_keys.div_ceil(threads);
+        // amcad-lint: allow(thread-discipline) — build-time scoped fan-out in a leaf crate: amcad-mnn sits below amcad-retrieval in the dependency graph, so it cannot borrow the serving crate's pools without a cycle
         let results: Vec<Vec<(u32, Postings)>> = crossbeam::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {

@@ -89,6 +89,9 @@ impl WorkerPool {
                     scope.spawn(move |_| {
                         let mut local = Vec::new();
                         loop {
+                            // index claim only: RMW atomicity hands out each
+                            // index exactly once; the scope join publishes
+                            // the results — no extra edge needed, so Relaxed
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= jobs {
                                 break;

@@ -46,6 +46,7 @@ pub mod park_pool;
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+// amcad-lint: allow(no-std-sync-primitives) — the admission queue parks workers on std::sync::Condvar, which only pairs with std MutexGuard; poison is recovered manually in lock() below
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -281,6 +282,8 @@ impl ServingRuntime {
     pub fn stats(&self) -> RuntimeStats {
         let c = &self.shared.counters;
         RuntimeStats {
+            // monotonic telemetry counters: a momentarily stale read is a
+            // correct (slightly older) snapshot, so Relaxed throughout
             admitted: c.admitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             shed_queue_full: c.shed_queue.load(Ordering::Relaxed),
@@ -304,7 +307,7 @@ impl ServingRuntime {
                 self.shared
                     .counters
                     .shed_queue
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // monotonic telemetry only
                 return Err(overloaded());
             }
             queue.items.push_back(QueuedRequest {
@@ -316,7 +319,7 @@ impl ServingRuntime {
         self.shared
             .counters
             .admitted
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // monotonic telemetry only
         self.shared.ready.notify_one();
         Ok(Ticket { state: ticket })
     }
@@ -448,7 +451,7 @@ impl Drop for ServingRuntime {
             self.shared
                 .counters
                 .shed_queue
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // monotonic telemetry only
             item.ticket.fulfill(Err(RetrievalError::Overloaded {
                 queue_depth: self.shared.config.queue_depth,
                 deadline: self.shared.config.deadline,
@@ -485,7 +488,7 @@ fn worker_loop(shared: &RuntimeShared) {
                 shared
                     .counters
                     .shed_deadline
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // monotonic telemetry only
                 item.ticket.fulfill(Err(RetrievalError::Overloaded {
                     queue_depth: shared.config.queue_depth,
                     deadline: shared.config.deadline,
@@ -499,6 +502,8 @@ fn worker_loop(shared: &RuntimeShared) {
             1 => {
                 let item = live.pop().expect("len checked");
                 let result = shared.engine.retrieve(&item.request);
+                // monotonic telemetry only; the ticket fulfil below carries
+                // the actual result synchronisation
                 shared.counters.completed.fetch_add(1, Ordering::Relaxed);
                 item.ticket.fulfill(result);
             }
@@ -509,6 +514,7 @@ fn worker_loop(shared: &RuntimeShared) {
                 let results = shared.engine.retrieve_batch(&requests);
                 debug_assert_eq!(results.len(), live.len());
                 for (item, result) in live.drain(..).zip(results) {
+                    // monotonic telemetry only, as above
                     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
                     item.ticket.fulfill(result);
                 }

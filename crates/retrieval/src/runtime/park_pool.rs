@@ -26,6 +26,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+// amcad-lint: allow(no-std-sync-primitives) — the park/wake protocol needs std::sync::Condvar, which only pairs with std MutexGuard; poison is recovered manually in lock() below
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
@@ -80,6 +81,9 @@ impl BatchState {
     /// the accounting intact so the submitter always unblocks.
     fn work(&self) {
         loop {
+            // index claim only: RMW atomicity already hands out each index
+            // exactly once, and the closure pointer it gates was published
+            // by the queue mutex — no extra edge needed, so Relaxed
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.jobs {
                 return;
@@ -103,6 +107,8 @@ impl BatchState {
 
     /// Whether every job index has been claimed (not necessarily finished).
     fn exhausted(&self) -> bool {
+        // advisory queue-cleanup check: a stale read only delays popping
+        // the finished batch by one wakeup, so Relaxed
         self.next.load(Ordering::Relaxed) >= self.jobs
     }
 
@@ -224,8 +230,8 @@ impl PersistentPool {
             unsafe { *slots.0[i].get() = Some(value) };
         };
         let erased: &(dyn Fn(usize) + Sync) = &runner;
-        // SAFETY (lifetime erasure): the field type carries the default
-        // `'static` bound, but `runner` only needs to outlive the batch —
+        // SAFETY: lifetime erasure — the field type carries the default
+        // `'static` bound, but `runner` only needs to outlive the batch,
         // which `wait()` below guarantees before this frame unwinds (see
         // the `BatchState` safety protocol).
         let erased: *const (dyn Fn(usize) + Sync) = unsafe {

@@ -18,6 +18,12 @@
 //! Idle workers park on a condition variable instead of spinning: a low
 //! offered load no longer burns a full core per worker waiting for the
 //! next arrival.
+//!
+//! The producer and drain workers run as one fork/join batch on a
+//! resident [`PersistentPool`] owned by the simulator: the threads are
+//! spawned once in [`ServingSimulator::new`] and reused across every
+//! level of a sweep, so steady-state load generation performs zero
+//! thread spawns — the same discipline the serving runtime follows.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,6 +34,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::engine::{Request, Retrieve};
 use crate::error::RetrievalError;
+use crate::runtime::park_pool::PersistentPool;
 
 /// Latency statistics of one load level.
 ///
@@ -108,6 +115,7 @@ type WorkItem = (usize, Duration);
 /// `std::sync::Condvar` only pairs with std guards (the offline
 /// parking_lot stub happens to alias them, the real crate does not).
 struct RequestQueue {
+    // amcad-lint: allow(no-std-sync-primitives) — std::sync::Condvar only pairs with std MutexGuard (the real parking_lot's guard would not compile here)
     items: std::sync::Mutex<VecDeque<WorkItem>>,
     available: Condvar,
     closed: AtomicBool,
@@ -116,6 +124,7 @@ struct RequestQueue {
 impl RequestQueue {
     fn new() -> Self {
         RequestQueue {
+            // amcad-lint: allow(no-std-sync-primitives) — std::sync::Condvar only pairs with std MutexGuard
             items: std::sync::Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             closed: AtomicBool::new(false),
@@ -165,6 +174,9 @@ impl RequestQueue {
 pub struct ServingSimulator<'a> {
     engine: &'a dyn Retrieve,
     config: ServingConfig,
+    /// Resident load-generation threads: one producer slot plus the
+    /// configured workers, parked between levels.
+    pool: PersistentPool,
 }
 
 pub(crate) fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -178,7 +190,16 @@ pub(crate) fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 impl<'a> ServingSimulator<'a> {
     /// Create a simulator around any serving engine.
     pub fn new(engine: &'a dyn Retrieve, config: ServingConfig) -> Self {
-        ServingSimulator { engine, config }
+        // width = workers + 1: the open-loop producer occupies one job
+        // slot for a whole level, the drain workers the rest. `run`'s
+        // calling thread participates, so `new` spawns exactly
+        // `workers` resident threads.
+        let pool = PersistentPool::new(config.workers.max(1) + 1);
+        ServingSimulator {
+            engine,
+            config,
+            pool,
+        }
     }
 
     /// Run one load level: issue `requests` (cycled to reach the configured
@@ -196,27 +217,32 @@ impl<'a> ServingSimulator<'a> {
         let no_coverage = std::sync::atomic::AtomicUsize::new(0);
 
         let start = Instant::now();
-        crossbeam::scope(|scope| {
-            // producer: enqueue requests on the offered-load schedule
-            {
-                let queue = &queue;
-                scope.spawn(move |_| {
-                    for i in 0..total {
-                        // f64 multiply, not `interval * i as u32`: the cast
-                        // silently truncated the request index and the u32
-                        // multiply can panic on Duration overflow at low
-                        // QPS × many requests (a release-only abort, since
-                        // debug builds hit the cast first)
-                        let scheduled = interval.mul_f64(i as f64);
-                        // open-loop: wait until the scheduled arrival time
-                        let now = start.elapsed();
-                        if scheduled > now {
-                            std::thread::sleep(scheduled - now);
-                        }
-                        queue.push((i, scheduled));
+        let engine = self.engine;
+        // One fork/join batch on the resident pool: job 0 is the
+        // open-loop producer, jobs 1..=workers drain and serve. Index 0
+        // is claimed first, so the producer always runs even if the
+        // batch momentarily has fewer threads than jobs — drain jobs
+        // terminate once the queue is closed and empty, unblocking any
+        // thread that then claims a later index.
+        self.pool.run(workers + 1, |job| {
+            if job == 0 {
+                // producer: enqueue requests on the offered-load schedule
+                for i in 0..total {
+                    // f64 multiply, not `interval * i as u32`: the cast
+                    // silently truncated the request index and the u32
+                    // multiply can panic on Duration overflow at low
+                    // QPS × many requests (a release-only abort, since
+                    // debug builds hit the cast first)
+                    let scheduled = interval.mul_f64(i as f64);
+                    // open-loop: wait until the scheduled arrival time
+                    let now = start.elapsed();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
                     }
-                    queue.close();
-                });
+                    queue.push((i, scheduled));
+                }
+                queue.close();
+                return;
             }
             // workers: drain batches (one queue interaction per wakeup),
             // serve each request, and record per-request latency from
@@ -224,33 +250,26 @@ impl<'a> ServingSimulator<'a> {
             // time). Completion is timestamped per item, not per batch —
             // batch-end timestamping would inflate every latency by its
             // batchmates' service times and distort the Fig. 9 curve.
-            for _ in 0..workers {
-                let queue = &queue;
-                let latencies = &latencies_ms;
-                let no_coverage = &no_coverage;
-                let engine = self.engine;
-                scope.spawn(move |_| {
-                    let mut batch_ms: Vec<f64> = Vec::with_capacity(batch_size);
-                    loop {
-                        let items = queue.pop_batch(batch_size);
-                        if items.is_empty() {
-                            break; // closed and drained
-                        }
-                        batch_ms.clear();
-                        for &(i, scheduled) in &items {
-                            let result = engine.retrieve(&requests[i % requests.len()]);
-                            if matches!(result, Err(RetrievalError::NoCoverage { .. })) {
-                                no_coverage.fetch_add(1, Ordering::Relaxed);
-                            }
-                            let latency = start.elapsed().saturating_sub(scheduled);
-                            batch_ms.push(latency.as_secs_f64() * 1000.0);
-                        }
-                        latencies.lock().extend_from_slice(&batch_ms);
+            let mut batch_ms: Vec<f64> = Vec::with_capacity(batch_size);
+            loop {
+                let items = queue.pop_batch(batch_size);
+                if items.is_empty() {
+                    break; // closed and drained
+                }
+                batch_ms.clear();
+                for &(i, scheduled) in &items {
+                    let result = engine.retrieve(&requests[i % requests.len()]);
+                    if matches!(result, Err(RetrievalError::NoCoverage { .. })) {
+                        // monotonic telemetry counter, read only after the
+                        // level's join — no ordering needed — so Relaxed
+                        no_coverage.fetch_add(1, Ordering::Relaxed);
                     }
-                });
+                    let latency = start.elapsed().saturating_sub(scheduled);
+                    batch_ms.push(latency.as_secs_f64() * 1000.0);
+                }
+                latencies_ms.lock().extend_from_slice(&batch_ms);
             }
-        })
-        .expect("serving threads must not panic");
+        });
         let wall = start.elapsed().as_secs_f64();
 
         let mut ms = latencies_ms.into_inner();
@@ -260,6 +279,7 @@ impl<'a> ServingSimulator<'a> {
         LoadReport {
             offered_qps,
             completed,
+            // the pool join above already ordered every worker's writes
             no_coverage: no_coverage.load(Ordering::Relaxed),
             mean_ms: if completed == 0 {
                 0.0

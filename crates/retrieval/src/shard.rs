@@ -92,6 +92,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// amcad-lint: allow(no-std-sync-primitives) — the hedge rendezvous parks on std::sync::Condvar, which only pairs with std MutexGuard; poison is recovered via PoisonError::into_inner
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -428,12 +429,15 @@ impl Clone for ReplicatedShard {
                 .map(|slot| ReplicaSlot {
                     down: AtomicBool::new(slot.down.load(Ordering::Acquire)),
                     poisoned: AtomicBool::new(slot.poisoned.load(Ordering::Acquire)),
+                    // serves is a monotonic telemetry counter: an older
+                    // snapshot is still correct, so Relaxed
                     serves: AtomicU64::new(slot.serves.load(Ordering::Relaxed)),
                     weight: AtomicU64::new(slot.weight.load(Ordering::Acquire)),
                     delay_ns: AtomicU64::new(slot.delay_ns.load(Ordering::Acquire)),
                     generation: AtomicU64::new(slot.generation.load(Ordering::Acquire)),
                 })
                 .collect(),
+            // round-robin hint only: any starting cursor is valid
             cursor: AtomicUsize::new(self.cursor.load(Ordering::Relaxed)),
         }
     }
@@ -500,6 +504,8 @@ impl ReplicatedShard {
     pub fn serve_counts(&self) -> Vec<u64> {
         self.slots
             .iter()
+            // monotonic telemetry counter — a slightly stale snapshot is
+            // still a valid attribution, so Relaxed
             .map(|slot| slot.serves.load(Ordering::Relaxed))
             .collect()
     }
@@ -580,6 +586,9 @@ impl ReplicatedShard {
     fn pick(&self, shard: usize) -> Result<u32, RetrievalError> {
         loop {
             let n = self.slots.len();
+            // round-robin ticket: RMW atomicity spreads concurrent picks;
+            // which exact slot a pick lands on is not a correctness
+            // property, so Relaxed
             let start = self.cursor.fetch_add(1, Ordering::Relaxed);
             let mut weights = Vec::with_capacity(n);
             let mut healthy = Vec::with_capacity(n);
@@ -627,6 +636,7 @@ impl ReplicatedShard {
                 self.slots[replica].down.store(true, Ordering::Release);
                 continue;
             }
+            // monotonic telemetry counter, read by serve_counts() — Relaxed
             self.slots[replica].serves.fetch_add(1, Ordering::Relaxed);
             return Ok(replica as u32);
         }
@@ -639,6 +649,8 @@ impl ReplicatedShard {
     /// to hedge to and the request simply waits for the primary.
     fn pick_sibling(&self, exclude: u32) -> Option<u32> {
         let n = self.slots.len();
+        // round-robin ticket, as in pick(): slot choice is not a
+        // correctness property, so Relaxed
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         for k in 0..n {
             let r = (start + k) % n;
@@ -649,6 +661,7 @@ impl ReplicatedShard {
                 self.slots[r].down.store(true, Ordering::Release);
                 continue;
             }
+            // monotonic telemetry counter, read by serve_counts() — Relaxed
             self.slots[r].serves.fetch_add(1, Ordering::Relaxed);
             return Some(r as u32);
         }
@@ -694,11 +707,13 @@ impl HedgeControl {
 
     /// Hedge sub-requests issued since the deployment was built.
     pub fn issued(&self) -> u64 {
+        // monotonic telemetry counter — Relaxed
         self.issued.load(Ordering::Relaxed)
     }
 
     /// Hedge sub-requests that beat the primary replica to the answer.
     pub fn wins(&self) -> u64 {
+        // monotonic telemetry counter — Relaxed
         self.won.load(Ordering::Relaxed)
     }
 }
@@ -814,6 +829,7 @@ fn spawn_gather(
     if delay.is_zero() {
         pool.spawn(gather);
     } else {
+        // amcad-lint: allow(thread-discipline) — a fault-injected straggler parked in sleep() would occupy a resident PersistentPool worker and starve the very hedge it is supposed to lose to, so delayed gathers run on a throwaway thread (see the doc comment above)
         std::thread::spawn(gather);
     }
 }
@@ -1174,6 +1190,7 @@ impl ShardedEngine {
                     // the primary is straggling: hedge to a sibling and
                     // take the first response (no sibling → keep waiting)
                     if let Some(sibling) = shard.pick_sibling(primary) {
+                        // monotonic telemetry counter — Relaxed
                         hedge.control.issued.fetch_add(1, Ordering::Relaxed);
                         spawn_gather(&hedge.pool, shard, sibling, &keys, per_key, &slot);
                     }
@@ -1181,6 +1198,7 @@ impl ShardedEngine {
                 }
             };
             if outcome.replica != primary {
+                // monotonic telemetry counter — Relaxed
                 hedge.control.won.fetch_add(1, Ordering::Relaxed);
             }
             route.push(ReplicaId {

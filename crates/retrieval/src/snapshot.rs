@@ -30,7 +30,9 @@
 //! handle (though one level is all a deployment needs).
 
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use crate::delta::{IndexDelta, ShardedDeltaBuilder};
 use crate::engine::{Request, RetrievalResponse, Retrieve};
@@ -196,19 +198,14 @@ impl EngineHandle {
 
     /// [`EngineHandle::publish`] for an already-shared engine.
     pub fn publish_arc(&self, engine: Arc<dyn Retrieve>) -> u64 {
-        let mut guard = self
-            .current
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut guard = self.current.write();
         let generation = guard.generation + 1;
         *guard = Arc::new(EngineSnapshot { engine, generation });
         generation
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, Arc<EngineSnapshot>> {
-        self.current
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn read(&self) -> parking_lot::RwLockReadGuard<'_, Arc<EngineSnapshot>> {
+        self.current.read()
     }
 }
 

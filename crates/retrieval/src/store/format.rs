@@ -94,35 +94,37 @@ pub(crate) fn seal(magic: &[u8; 8], payload: Vec<u8>) -> Vec<u8> {
 /// version report [`RetrievalError::SnapshotVersion`], not corruption),
 /// declared length, checksum.
 pub(crate) fn unseal<'a>(magic: &[u8; 8], bytes: &'a [u8]) -> Result<&'a [u8], RetrievalError> {
-    if bytes.len() < ENVELOPE_BYTES {
-        return Err(corrupt(format!(
+    let truncated = || {
+        corrupt(format!(
             "file is {} bytes, shorter than the {ENVELOPE_BYTES}-byte envelope (truncated?)",
             bytes.len()
-        )));
+        ))
+    };
+    if bytes.len() < ENVELOPE_BYTES {
+        return Err(truncated());
     }
-    if &bytes[..8] != magic {
+    let found_magic = bytes.get(..8).ok_or_else(truncated)?;
+    if found_magic != magic {
         return Err(corrupt(format!(
-            "bad magic {:02x?} (expected {:02x?})",
-            &bytes[..8],
-            magic
+            "bad magic {found_magic:02x?} (expected {magic:02x?})"
         )));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(array_at(bytes, 8, "format version")?);
     if version != FORMAT_VERSION {
         return Err(RetrievalError::SnapshotVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let declared = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let declared = u64::from_le_bytes(array_at(bytes, 12, "payload length")?);
     let actual = (bytes.len() - ENVELOPE_BYTES) as u64;
     if declared != actual {
         return Err(corrupt(format!(
             "declared payload length {declared} but {actual} bytes present (truncated?)"
         )));
     }
-    let payload = &bytes[20..bytes.len() - 8];
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let payload = bytes.get(20..bytes.len() - 8).ok_or_else(truncated)?;
+    let stored = u64::from_le_bytes(array_at(bytes, bytes.len() - 8, "envelope checksum")?);
     let computed = fnv1a64(payload);
     if stored != computed {
         return Err(corrupt(format!(
@@ -130,6 +132,24 @@ pub(crate) fn unseal<'a>(magic: &[u8; 8], bytes: &'a [u8]) -> Result<&'a [u8], R
         )));
     }
     Ok(payload)
+}
+
+/// The `N` bytes at `offset` as a fixed-size array — `Err` instead of a
+/// panic when the file is shorter than the envelope layout promises.
+fn array_at<const N: usize>(
+    bytes: &[u8],
+    offset: usize,
+    what: &str,
+) -> Result<[u8; N], RetrievalError> {
+    offset
+        .checked_add(N)
+        .and_then(|end| bytes.get(offset..end))
+        .and_then(|slice| <[u8; N]>::try_from(slice).ok())
+        .ok_or_else(|| {
+            corrupt(format!(
+                "truncated envelope: {what} needs {N} bytes at offset {offset}"
+            ))
+        })
 }
 
 /// Append-only little-endian byte sink the writer serialises into.
@@ -199,28 +219,40 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], RetrievalError> {
-        if self.remaining() < n {
+        let bytes: &'a [u8] = self.bytes;
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| bytes.get(self.pos..end));
+        let Some(slice) = slice else {
             return Err(corrupt(format!(
                 "truncated payload: {what} needs {n} bytes at offset {}, {} remain",
                 self.pos,
                 self.remaining()
             )));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
+        };
         self.pos += n;
         Ok(slice)
     }
 
+    /// The next `N` bytes as a fixed-size array — the panic-free form of
+    /// `take(N)?.try_into().unwrap()`.
+    fn array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], RetrievalError> {
+        let slice = self.take(N, what)?;
+        <[u8; N]>::try_from(slice).map_err(|_| corrupt(format!("{what}: short read of {N} bytes")))
+    }
+
     pub(crate) fn u8(&mut self, what: &str) -> Result<u8, RetrievalError> {
-        Ok(self.take(1, what)?[0])
+        let [byte] = self.array::<1>(what)?;
+        Ok(byte)
     }
 
     pub(crate) fn u32(&mut self, what: &str) -> Result<u32, RetrievalError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array(what)?))
     }
 
     pub(crate) fn u64(&mut self, what: &str) -> Result<u64, RetrievalError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array(what)?))
     }
 
     pub(crate) fn f64(&mut self, what: &str) -> Result<f64, RetrievalError> {
@@ -336,11 +368,10 @@ pub(crate) fn decode_point_set(dec: &mut Decoder<'_>) -> Result<MixedPointSet, R
 /// nondeterministically, and a canonical byte layout keeps snapshots of
 /// identical indices byte-identical (and diffable).
 pub(crate) fn encode_index(enc: &mut Encoder, index: &InvertedIndex) {
-    let mut keys: Vec<u32> = index.iter().map(|(key, _)| *key).collect();
-    keys.sort_unstable();
-    enc.usize(keys.len());
-    for key in keys {
-        let postings = index.get(key).expect("key came from the iterator");
+    let mut entries: Vec<(u32, &Postings)> = index.iter().map(|(key, list)| (*key, list)).collect();
+    entries.sort_unstable_by_key(|&(key, _)| key);
+    enc.usize(entries.len());
+    for (key, postings) in entries {
         enc.u32(key);
         enc.usize(postings.len());
         for &(id, dist) in postings {
@@ -582,10 +613,13 @@ pub(crate) fn decode_backend_state(
                 let mut cluster = Vec::with_capacity(len);
                 for _ in 0..len {
                     let slot = dec.usize_capped(usize::MAX, "ivf cluster member")?;
-                    if slot >= n || std::mem::replace(&mut assigned[slot], true) {
-                        return Err(corrupt(format!(
-                            "ivf cluster member {slot} is out of range or assigned twice ({n} candidates)"
-                        )));
+                    match assigned.get_mut(slot) {
+                        Some(seen) if !*seen => *seen = true,
+                        _ => {
+                            return Err(corrupt(format!(
+                                "ivf cluster member {slot} is out of range or assigned twice ({n} candidates)"
+                            )))
+                        }
                     }
                     cluster.push(slot);
                 }

@@ -93,8 +93,14 @@ impl SnapshotManifest {
             fanout_threads: topology.fanout_threads,
             index: topology.index,
             retrieval: topology.retrieval,
-            queries: parts[0].0.queries_qa.len(),
-            items: parts[0].0.items_ia.len(),
+            queries: parts
+                .first()
+                .map(|(inputs, _)| inputs.queries_qa.len())
+                .unwrap_or(0),
+            items: parts
+                .first()
+                .map(|(inputs, _)| inputs.items_ia.len())
+                .unwrap_or(0),
             ads_per_shard: parts
                 .iter()
                 .map(|(inputs, _)| inputs.ads_qa.len())

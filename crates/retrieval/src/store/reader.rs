@@ -75,12 +75,20 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<(u64, ShardedDeltaBuilder)
                 });
             }
         }
-        if ads_qa.len() != manifest.ads_per_shard[s] {
+        let recorded = manifest.ads_per_shard.get(s).copied().ok_or_else(|| {
+            RetrievalError::SnapshotCorrupt {
+                detail: format!(
+                    "manifest records {} per-shard ad counts but declares {} shards",
+                    manifest.ads_per_shard.len(),
+                    manifest.shards
+                ),
+            }
+        })?;
+        if ads_qa.len() != recorded {
             return Err(RetrievalError::SnapshotCorrupt {
                 detail: format!(
-                    "shard {s} holds {} ads but the manifest recorded {}",
+                    "shard {s} holds {} ads but the manifest recorded {recorded}",
                     ads_qa.len(),
-                    manifest.ads_per_shard[s]
                 ),
             });
         }

@@ -24,14 +24,21 @@ use super::format::{
 use super::manifest::SnapshotManifest;
 
 /// The sealed bytes of a deployment snapshot at `generation`.
-pub(crate) fn snapshot_bytes(builder: &ShardedDeltaBuilder, generation: u64) -> Vec<u8> {
+pub(crate) fn snapshot_bytes(
+    builder: &ShardedDeltaBuilder,
+    generation: u64,
+) -> Result<Vec<u8>, RetrievalError> {
     let manifest = SnapshotManifest::for_builder(builder, generation);
     let parts = builder.slot_parts();
     let mut enc = Encoder::new();
     manifest.encode(&mut enc);
     // key-side state once per deployment: every shard holds the same
     // Arc'd sets and builds identical key indices from them
-    let (inputs, indexes) = &parts[0];
+    let Some((inputs, indexes)) = parts.first() else {
+        return Err(RetrievalError::SnapshotCorrupt {
+            detail: "deployment has zero shards, nothing to snapshot".to_string(),
+        });
+    };
     encode_point_set(&mut enc, &inputs.queries_qq);
     encode_point_set(&mut enc, &inputs.queries_qi);
     encode_point_set(&mut enc, &inputs.items_qi);
@@ -49,7 +56,7 @@ pub(crate) fn snapshot_bytes(builder: &ShardedDeltaBuilder, generation: u64) -> 
         encode_index(&mut enc, &indexes.q2a);
         encode_index(&mut enc, &indexes.i2a);
     }
-    seal(MAGIC_SNAPSHOT, enc.into_bytes())
+    Ok(seal(MAGIC_SNAPSHOT, enc.into_bytes()))
 }
 
 /// Write a deployment snapshot of `builder` at `generation` to `path`.
@@ -58,7 +65,7 @@ pub(crate) fn write_snapshot(
     builder: &ShardedDeltaBuilder,
     generation: u64,
 ) -> Result<(), RetrievalError> {
-    std::fs::write(path, snapshot_bytes(builder, generation)).map_err(|e| {
+    std::fs::write(path, snapshot_bytes(builder, generation)?).map_err(|e| {
         RetrievalError::SnapshotCorrupt {
             detail: format!("cannot write {}: {e}", path.display()),
         }

@@ -28,8 +28,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use amcad::core::{build_index_inputs, evaluate_offline, EvalConfig};
 use amcad::datagen::{Dataset, WorldConfig};
@@ -113,6 +114,7 @@ fn main() {
     let mut last_inputs: Option<amcad::retrieval::IndexBuildInputs> = None;
     let mut churn_summary = String::new();
     let mut restart_summary = String::new();
+    // amcad-lint: allow(thread-discipline) — demo probe workers: the example simulates external request traffic hitting the handle, which by construction runs off the serving pools
     std::thread::scope(|scope| {
         for worker in 0..2usize {
             let handle = &handle;
@@ -122,17 +124,17 @@ fn main() {
             let requests = &request_templates;
             scope.spawn(move || {
                 let mut i = worker; // stagger the two workers
+
+                // advisory stop flag — seeing it a beat late only serves
+                // one extra request, so Relaxed
                 while !stop.load(Ordering::Relaxed) {
                     let snapshot = handle.snapshot();
                     match snapshot.retrieve(&requests[i % requests.len()]) {
                         Ok(_) => {
-                            *served
-                                .lock()
-                                .unwrap()
-                                .entry(snapshot.generation())
-                                .or_insert(0) += 1;
+                            *served.lock().entry(snapshot.generation()).or_insert(0) += 1;
                         }
                         Err(_) => {
+                            // monotonic tally, read after the scope join — Relaxed
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -263,6 +265,7 @@ fn main() {
             request_templates.len(),
         );
         std::thread::sleep(Duration::from_millis(30));
+        // advisory stop flag (see the worker loop) — Relaxed
         stop.store(true, Ordering::Relaxed);
     });
 
@@ -287,9 +290,10 @@ fn main() {
         "(generations 1-3: daily full refreshes; 4: churn-base full publish; 5: delta publish;"
     );
     println!("6: post-snapshot catch-up delta):");
-    for (generation, count) in served_per_generation.lock().unwrap().iter() {
+    for (generation, count) in served_per_generation.lock().iter() {
         println!("  generation {generation} served {count} requests");
     }
+    // the scope join above already ordered every worker's writes — Relaxed
     let errors = errors.load(Ordering::Relaxed);
     assert_eq!(errors, 0, "a published generation failed a request");
     println!("Every response above is attributable to exactly one snapshot generation; the");
