@@ -1,0 +1,651 @@
+//! Intra-workspace call graph with hot-path and park-reachability
+//! propagation.
+//!
+//! Resolution is by **name and self-type only** — there is no type
+//! inference, so the graph is a deliberate over-approximation:
+//!
+//! * `Type::name(..)` resolves to every workspace fn named `name`
+//!   inside an `impl Type` / `impl Trait for ..` block whose type or
+//!   trait matches (`Self::` uses the caller's impl type) — the
+//!   qualifier carries a real type name, so this resolves across
+//!   crates.
+//! * `name(..)` resolves to every free fn named `name` **in the
+//!   caller's crate** (cross-crate free calls are path-qualified in
+//!   practice; `a::b::name(..)` with a lowercase qualifier resolves
+//!   the same way).
+//! * `.name(..)` method calls resolve to every impl/trait fn named
+//!   `name` **in the caller's crate** — except the
+//!   `COMMON_METHODS` stoplist of ubiquitous std-collection names
+//!   (`push`, `insert`, `get`, `new`, …), which never resolve
+//!   unqualified. Without the stoplist, every `map.insert(..)` on a
+//!   std HashMap would drag same-named build-path workspace fns into
+//!   the hot set; without the same-crate bound, a hot `.run(..)` /
+//!   `.build(..)` call would wire edges into every crate that uses
+//!   the same verb and mark half the workspace hot.
+//!
+//! Cross-crate hot propagation does not depend on unqualified edges:
+//! every crate-boundary hot entry point (ANN `search`, the manifold
+//! distance fns) is itself a seed.
+//!
+//! Over-approximation errs toward marking *more* code hot, which for a
+//! deny-by-default lint means false positives that a human waives —
+//! never a silently missed hot-path site.
+//!
+//! **Hot seeding** (see `src/README.md` for the contract): the serving
+//! entry points (`Retrieve::retrieve` / `retrieve_batch` impls), the
+//! ANN backends (`AnnIndex::search` impls), the pool participation
+//! paths (`PersistentPool::run` / `spawn` — named here because `run`
+//! resolves through the stoplist-free method table), the
+//! mixed-curvature distance evaluations (`MixedPointSet` /
+//! `ProductManifold` distance fns, free `distance` in `manifold`), and
+//! any fn under an opt-in `// amcad-lint: hot-path` marker. Everything
+//! reachable from a seed through the graph is hot.
+//!
+//! **Park reachability**: a fn parks directly if it method-calls a
+//! condvar primitive (`wait` / `wait_timeout` / `wait_while`); a fn
+//! can park if it parks directly or calls one that can. The
+//! `guard-across-park` rule asks, per call site, whether the site can
+//! reach a park.
+
+use std::collections::HashMap;
+
+use crate::parser::{CallSite, Callee, FnItem, Node, ParsedFile};
+
+/// Method names that never resolve without a path qualifier: they are
+/// overwhelmingly std-container/iterator calls, and resolving them
+/// would wire every `vec.push(..)` to same-named workspace fns.
+const COMMON_METHODS: &[&str] = &[
+    "new",
+    "clone",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "contains",
+    "contains_key",
+    "extend",
+    "clear",
+    "drain",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+    "keys",
+    "values",
+    "sort",
+    "retain",
+    "take",
+    "replace",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "from",
+    "into",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "borrow",
+    "write",
+    "read",
+    "lock",
+    // atomic ops: `closed.load(Ordering::..)` must not resolve to a
+    // workspace fn that happens to be called `load`
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "unwrap",
+    "expect",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "min",
+    "max",
+    "clamp",
+    "abs",
+    "sqrt",
+    "powi",
+    "ln",
+    "exp",
+    "floor",
+    "ceil",
+];
+
+/// Condvar parking primitives, matched as bare method names.
+const PARK_PRIMITIVES: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// Hot seeds keyed by the trait an impl implements.
+const TRAIT_ROOTS: &[(&str, &str)] = &[
+    ("Retrieve", "retrieve"),
+    ("Retrieve", "retrieve_batch"),
+    ("AnnIndex", "search"),
+];
+
+/// Hot seeds keyed by the impl self-type.
+const TYPE_ROOTS: &[(&str, &str)] = &[
+    ("PersistentPool", "run"),
+    ("PersistentPool", "spawn"),
+    ("MixedPointSet", "distance_between"),
+    ("MixedPointSet", "distance_to"),
+    ("ProductManifold", "distance"),
+    ("ProductManifold", "weighted_distance"),
+    ("ProductManifold", "component_distances"),
+];
+
+/// Hot seeds that are free fns, keyed by a path fragment.
+const FREE_ROOTS: &[(&str, &str)] = &[("manifold", "distance")];
+
+/// One file's contribution to the graph.
+pub struct Unit<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    pub parsed: &'a ParsedFile,
+    /// Whole file is test code (`tests/` / `benches/`).
+    pub all_test: bool,
+}
+
+struct FnMeta {
+    self_type: Option<String>,
+    trait_name: Option<String>,
+    is_free: bool,
+    /// Owning crate, from the file path (`crates/<name>/..` → `name`).
+    krate: String,
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        (Some(first), _) => first,
+        _ => "",
+    }
+}
+
+/// The resolved workspace call graph with hot/park markings.
+pub struct CallGraph {
+    metas: Vec<FnMeta>,
+    by_name: HashMap<String, Vec<usize>>,
+    /// `(file index, fn index within that file's ParsedFile)` → global.
+    index: HashMap<(usize, usize), usize>,
+    hot: Vec<bool>,
+    can_park: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Build the graph and run both propagations.
+    pub fn build(units: &[Unit<'_>]) -> CallGraph {
+        let mut metas = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut index = HashMap::new();
+        let mut items: Vec<(usize, &FnItem)> = Vec::new();
+        for (file_idx, unit) in units.iter().enumerate() {
+            for (fn_idx, item) in unit.parsed.fns.iter().enumerate() {
+                let global = metas.len();
+                index.insert((file_idx, fn_idx), global);
+                by_name.entry(item.name.clone()).or_default().push(global);
+                metas.push(FnMeta {
+                    self_type: item.self_type.clone(),
+                    trait_name: item.trait_name.clone(),
+                    is_free: item.self_type.is_none() && item.trait_name.is_none(),
+                    krate: crate_of(unit.path).to_string(),
+                });
+                items.push((file_idx, item));
+            }
+        }
+        let mut graph = CallGraph {
+            metas,
+            by_name,
+            index,
+            hot: Vec::new(),
+            can_park: Vec::new(),
+        };
+
+        // per-fn call-site lists (flattened over closures/blocks/lets)
+        let mut sites: Vec<Vec<&CallSite>> = Vec::with_capacity(items.len());
+        for (_, item) in &items {
+            let mut list = Vec::new();
+            collect_sites(&item.body, &mut list);
+            sites.push(list);
+        }
+        let edges: Vec<Vec<usize>> = (0..items.len())
+            .map(|caller| {
+                let mut out: Vec<usize> = sites[caller]
+                    .iter()
+                    .flat_map(|s| graph.resolve(caller, s))
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+
+        // hot propagation: BFS from the seed set
+        let n = items.len();
+        let mut hot = vec![false; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for (g, (file_idx, item)) in items.iter().enumerate() {
+            if item.in_test || units[*file_idx].all_test {
+                continue; // test fns never seed the hot set
+            }
+            if graph.is_root(units[*file_idx].path, item) {
+                hot[g] = true;
+                queue.push(g);
+            }
+        }
+        while let Some(g) = queue.pop() {
+            for &callee in &edges[g] {
+                if !hot[callee] {
+                    hot[callee] = true;
+                    queue.push(callee);
+                }
+            }
+        }
+
+        // park propagation: direct primitives, then callee closure
+        let mut can_park: Vec<bool> = sites
+            .iter()
+            .map(|list| {
+                list.iter().any(|s| {
+                    matches!(&s.callee, Callee::Method { name, .. }
+                        if PARK_PRIMITIVES.contains(&name.as_str()))
+                })
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for g in 0..n {
+                if !can_park[g] && edges[g].iter().any(|&c| can_park[c]) {
+                    can_park[g] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        graph.hot = hot;
+        graph.can_park = can_park;
+        graph
+    }
+
+    fn is_root(&self, path: &str, item: &FnItem) -> bool {
+        if item.hot_marker {
+            return true;
+        }
+        if let Some(trait_name) = &item.trait_name {
+            if TRAIT_ROOTS
+                .iter()
+                .any(|(t, f)| t == trait_name && *f == item.name)
+            {
+                return true;
+            }
+        }
+        if let Some(self_type) = &item.self_type {
+            if TYPE_ROOTS
+                .iter()
+                .any(|(t, f)| t == self_type && *f == item.name)
+            {
+                return true;
+            }
+        }
+        item.self_type.is_none()
+            && item.trait_name.is_none()
+            && FREE_ROOTS
+                .iter()
+                .any(|(frag, f)| path.contains(frag) && *f == item.name)
+    }
+
+    /// Global fn indices a call site may invoke.
+    fn resolve(&self, caller: usize, site: &CallSite) -> Vec<usize> {
+        let caller_crate = self.metas[caller].krate.as_str();
+        match &site.callee {
+            Callee::Macro(_) => Vec::new(),
+            Callee::Method { name, recv } => {
+                if COMMON_METHODS.contains(&name.as_str()) {
+                    return Vec::new();
+                }
+                // `self.name(..)` can only land on the caller's own
+                // type (any of its impl blocks, trait impls included)
+                let self_recv = recv.as_deref() == Some("self");
+                self.by_name
+                    .get(name)
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&g| {
+                                let m = &self.metas[g];
+                                !m.is_free
+                                    && m.krate == caller_crate
+                                    && (!self_recv || self.same_self(caller, g))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+            Callee::Path(segs) => match segs.len() {
+                0 => Vec::new(),
+                1 => self.resolve_free(&segs[0], caller_crate),
+                n => {
+                    let name = &segs[n - 1];
+                    let qual = if segs[n - 2] == "Self" {
+                        match &self.metas[caller].self_type {
+                            Some(t) => t.clone(),
+                            None => return Vec::new(),
+                        }
+                    } else {
+                        segs[n - 2].clone()
+                    };
+                    if !qual.starts_with(|c: char| c.is_ascii_uppercase()) {
+                        // `module::name(..)` — a free fn behind a
+                        // lowercase module path
+                        return self.resolve_free(name, caller_crate);
+                    }
+                    self.by_name
+                        .get(name)
+                        .map(|cands| {
+                            cands
+                                .iter()
+                                .copied()
+                                .filter(|&g| {
+                                    let m = &self.metas[g];
+                                    m.self_type.as_deref() == Some(qual.as_str())
+                                        || m.trait_name.as_deref() == Some(qual.as_str())
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                }
+            },
+        }
+    }
+
+    /// Whether `candidate` could be a method on the caller's `Self`
+    /// type: same impl self-type, or — for trait-decl default bodies,
+    /// which have no self-type — the same trait.
+    fn same_self(&self, caller: usize, candidate: usize) -> bool {
+        let c = &self.metas[caller];
+        let m = &self.metas[candidate];
+        match &c.self_type {
+            Some(t) => m.self_type.as_deref() == Some(t.as_str()),
+            None => c.trait_name.is_some() && m.trait_name == c.trait_name,
+        }
+    }
+
+    /// Free fns named `name` in `caller_crate`.
+    fn resolve_free(&self, name: &str, caller_crate: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .map(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&g| {
+                        let m = &self.metas[g];
+                        m.is_free && m.krate == caller_crate
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether fn `fn_idx` of file `file_idx` is hot-reachable.
+    pub fn is_hot(&self, file_idx: usize, fn_idx: usize) -> bool {
+        self.index
+            .get(&(file_idx, fn_idx))
+            .is_some_and(|&g| self.hot[g])
+    }
+
+    /// Whether a call site (inside fn `fn_idx` of file `file_idx`) can
+    /// reach a condvar park: it is a parking primitive itself, or some
+    /// fn it may resolve to can park.
+    pub fn site_reaches_park(&self, file_idx: usize, fn_idx: usize, site: &CallSite) -> bool {
+        if let Callee::Method { name, .. } = &site.callee {
+            if PARK_PRIMITIVES.contains(&name.as_str()) {
+                return true;
+            }
+        }
+        let Some(&caller) = self.index.get(&(file_idx, fn_idx)) else {
+            return false;
+        };
+        self.resolve(caller, site)
+            .into_iter()
+            .any(|g| self.can_park[g])
+    }
+
+    /// A short description of the callee, for diagnostics.
+    pub fn describe_callee(site: &CallSite) -> String {
+        match &site.callee {
+            Callee::Path(segs) => segs.join("::"),
+            Callee::Method { name, .. } => format!(".{name}(..)"),
+            Callee::Macro(name) => format!("{name}!"),
+        }
+    }
+}
+
+/// Collect every call site in a body, recursively (closures, blocks,
+/// loop headers/bodies, let initializers, call arguments).
+pub fn collect_sites<'a>(nodes: &'a [Node], out: &mut Vec<&'a CallSite>) {
+    for node in nodes {
+        match node {
+            Node::Call(site) => {
+                out.push(site);
+                collect_sites(&site.args, out);
+            }
+            Node::Loop(l) => {
+                collect_sites(&l.header, out);
+                collect_sites(&l.body, out);
+            }
+            Node::Closure(c) => collect_sites(&c.body, out),
+            Node::Block { body, .. } => collect_sites(body, out),
+            Node::Let(l) => collect_sites(&l.init, out),
+            Node::DropCall { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn graph_of(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, Vec<String>) {
+        let parsed: Vec<ParsedFile> = sources.iter().map(|(_, s)| parse(&lex(s))).collect();
+        let paths: Vec<String> = sources.iter().map(|(p, _)| p.to_string()).collect();
+        (parsed, paths)
+    }
+
+    fn build<'a>(parsed: &'a [ParsedFile], paths: &'a [String]) -> CallGraph {
+        let units: Vec<Unit<'a>> = parsed
+            .iter()
+            .zip(paths)
+            .map(|(parsed, path)| Unit {
+                path,
+                parsed,
+                all_test: false,
+            })
+            .collect();
+        CallGraph::build(&units)
+    }
+
+    fn hot_fn(graph: &CallGraph, parsed: &[ParsedFile], name: &str) -> bool {
+        for (file_idx, p) in parsed.iter().enumerate() {
+            for (fn_idx, f) in p.fns.iter().enumerate() {
+                if f.name == name {
+                    return graph.is_hot(file_idx, fn_idx);
+                }
+            }
+        }
+        panic!("no fn `{name}`");
+    }
+
+    #[test]
+    fn retrieve_impl_seeds_and_propagates_across_files() {
+        let (parsed, paths) = graph_of(&[
+            (
+                "crates/retrieval/src/engine.rs",
+                "impl Retrieve for Engine {\n\
+                     fn retrieve(&self, q: &Q) -> R { self.expand(q) }\n\
+                 }\n\
+                 impl Engine {\n\
+                     fn expand(&self, q: &Q) -> R { score_all(q) }\n\
+                     fn build(&mut self) { heavy_setup(); }\n\
+                 }\n",
+            ),
+            (
+                "crates/retrieval/src/scoring.rs",
+                "fn score_all(q: &Q) -> R { todo(q) }\n\
+                 fn heavy_setup() {}\n\
+                 fn todo(_q: &Q) -> R { R }\n",
+            ),
+        ]);
+        let graph = build(&parsed, &paths);
+        assert!(hot_fn(&graph, &parsed, "retrieve"));
+        assert!(hot_fn(&graph, &parsed, "expand"), "method resolution");
+        assert!(hot_fn(&graph, &parsed, "score_all"), "free-fn, cross-file");
+        assert!(hot_fn(&graph, &parsed, "todo"), "transitive");
+        assert!(!hot_fn(&graph, &parsed, "build"), "build path stays cold");
+        assert!(
+            !hot_fn(&graph, &parsed, "heavy_setup"),
+            "reachable only from the cold build path"
+        );
+    }
+
+    #[test]
+    fn common_method_names_do_not_resolve_unqualified() {
+        let (parsed, paths) = graph_of(&[(
+            "crates/x/src/lib.rs",
+            "impl Retrieve for E { fn retrieve(&self) { self.keys.insert(1); } }\n\
+             impl Index { fn insert(&mut self, k: u32) { rebalance(); } }\n\
+             fn rebalance() {}\n",
+        )]);
+        let graph = build(&parsed, &paths);
+        assert!(
+            !hot_fn(&graph, &parsed, "insert"),
+            ".insert(..) is stoplisted — std-map noise must not mark build fns hot"
+        );
+        assert!(!hot_fn(&graph, &parsed, "rebalance"));
+    }
+
+    #[test]
+    fn qualified_and_self_paths_resolve_through_the_stoplist() {
+        let (parsed, paths) = graph_of(&[(
+            "crates/x/src/lib.rs",
+            "impl Retrieve for E {\n\
+                 fn retrieve(&self) { Index::insert(&mut self.idx, 1); Self::helper(self); }\n\
+             }\n\
+             impl Index { fn insert(&mut self, k: u32) {} }\n\
+             impl E { fn helper(&self) {} }\n",
+        )]);
+        let graph = build(&parsed, &paths);
+        assert!(
+            hot_fn(&graph, &parsed, "insert"),
+            "a path-qualified call bypasses the stoplist"
+        );
+        assert!(
+            hot_fn(&graph, &parsed, "helper"),
+            "Self:: uses the impl type"
+        );
+    }
+
+    #[test]
+    fn hot_marker_seeds_an_otherwise_cold_fn() {
+        let (parsed, paths) = graph_of(&[(
+            "crates/x/src/lib.rs",
+            "// amcad-lint: hot-path — worker dispatch loop\n\
+             fn worker_loop() { dispatch(); }\n\
+             fn dispatch() {}\n\
+             fn unrelated() {}\n",
+        )]);
+        let graph = build(&parsed, &paths);
+        assert!(hot_fn(&graph, &parsed, "worker_loop"));
+        assert!(hot_fn(&graph, &parsed, "dispatch"));
+        assert!(!hot_fn(&graph, &parsed, "unrelated"));
+    }
+
+    #[test]
+    fn park_reachability_propagates_through_callers() {
+        let (parsed, paths) = graph_of(&[(
+            "crates/retrieval/src/runtime/park_pool.rs",
+            "impl PersistentPool {\n\
+                 fn run(&self, jobs: &J) { self.participate(); }\n\
+                 fn participate(&self) { let mut g = lock(&self.state); g = self.cond.wait(g); }\n\
+                 fn threads(&self) -> usize { self.n }\n\
+             }\n",
+        )]);
+        let graph = build(&parsed, &paths);
+        // find `run` and check its participate() site reaches a park
+        let item = parsed[0].fns.iter().find(|f| f.name == "run").unwrap();
+        let mut sites = Vec::new();
+        collect_sites(&item.body, &mut sites);
+        let participate = sites
+            .iter()
+            .find(|s| matches!(&s.callee, Callee::Method { name, .. } if name == "participate"))
+            .unwrap();
+        assert!(graph.site_reaches_park(0, 0, participate));
+        // a wait primitive is a park site even with no resolution
+        let part_item = parsed[0]
+            .fns
+            .iter()
+            .find(|f| f.name == "participate")
+            .unwrap();
+        let mut psites = Vec::new();
+        collect_sites(&part_item.body, &mut psites);
+        let wait = psites
+            .iter()
+            .find(|s| matches!(&s.callee, Callee::Method { name, .. } if name == "wait"))
+            .unwrap();
+        assert!(graph.site_reaches_park(0, 1, wait));
+        // threads() has no sites at all — nothing to reach a park by
+        let threads = parsed[0].fns.iter().find(|f| f.name == "threads").unwrap();
+        let mut tsites = Vec::new();
+        collect_sites(&threads.body, &mut tsites);
+        assert!(tsites.is_empty());
+    }
+
+    #[test]
+    fn test_fns_never_seed_the_hot_set() {
+        let (parsed, paths) = graph_of(&[(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\n\
+             mod tests {\n\
+                 impl Retrieve for Fake { fn retrieve(&self) { helper(); } }\n\
+             }\n\
+             fn helper() {}\n",
+        )]);
+        let graph = build(&parsed, &paths);
+        assert!(
+            !hot_fn(&graph, &parsed, "helper"),
+            "a test-only Retrieve impl is not a serving entry point"
+        );
+    }
+}

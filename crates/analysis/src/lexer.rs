@@ -83,6 +83,18 @@ pub struct Comment {
     pub end_line: usize,
 }
 
+impl Comment {
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    /// Lint directives are tooling syntax, not documentation — docs
+    /// that *mention* a directive must not activate it.
+    pub fn is_doc(&self) -> bool {
+        (self.text.starts_with("///") && !self.text.starts_with("////"))
+            || self.text.starts_with("//!")
+            || (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+            || self.text.starts_with("/*!")
+    }
+}
+
 /// What a source line contains, for the "is the line above a comment?"
 /// checks the safety-comments and relaxed-justified rules make.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,1302 @@
+//! A hand-rolled recursive-descent item/expression parser on top of
+//! [`crate::lexer`]: exactly the structure the call-graph and the
+//! hot-path rules need, and nothing more.
+//!
+//! This is deliberately **not** rustc. There is no type inference, no
+//! trait solving, no macro expansion. What it does recover, reliably:
+//!
+//! * **Items.** `fn` items with their name, the `impl` self-type and
+//!   trait they belong to (`impl Retrieve for ShardedEngine`), their
+//!   `&mut`-reference parameters (the hoisted-scratch calling
+//!   convention), and whether they sit in test code.
+//! * **Body structure.** Loops (with their kind — `loop`, `while`,
+//!   `for`, open-range `for` — and label), closures (with an
+//!   iterator-adapter flag when passed to `.map(..)`-style methods),
+//!   nested blocks, `let` bindings (guard-producing and
+//!   `with_capacity` initializers classified), and `drop(x)` calls.
+//! * **Call sites.** Path calls (`Vec::new(..)`), method calls
+//!   (`.push(..)` with the identifier immediately left of the dot),
+//!   and macro invocations (`format!(..)`), each with the bare
+//!   identifiers appearing in its argument list.
+//!
+//! The parser never fails: unexpected token shapes degrade into
+//! skipped tokens, because a lint tool must keep walking the rest of
+//! the workspace. Anything it cannot classify simply produces no
+//! structure — rules only ever act on shapes that were positively
+//! recognised.
+
+use crate::lexer::{LexedFile, LineKind, Token, TokenKind};
+
+/// The parsed form of one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+}
+
+/// One `fn` item (free, inherent, or trait-impl method).
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Last segment of the `impl` self-type (`impl ShardedEngine` /
+    /// `impl Retrieve for ShardedEngine` → `ShardedEngine`).
+    pub self_type: Option<String>,
+    /// Trait name for `impl Trait for Type` methods and trait-decl
+    /// default bodies (`Retrieve`).
+    pub trait_name: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    pub in_test: bool,
+    /// Whether a `// amcad-lint: hot-path` marker precedes the item.
+    pub hot_marker: bool,
+    /// Names of parameters whose type starts `&mut` — the caller-owned
+    /// scratch-buffer convention (`keys: &mut Vec<Key>`).
+    pub mut_ref_params: Vec<String>,
+    pub body: Vec<Node>,
+}
+
+/// One structural node inside a fn body, in statement order.
+#[derive(Debug)]
+pub enum Node {
+    Loop(LoopNode),
+    Closure(ClosureNode),
+    /// A nested `{ .. }` scope (plain block, `unsafe` block, `if` /
+    /// `match` body). Guards bound inside die at its end.
+    Block {
+        line: usize,
+        body: Vec<Node>,
+    },
+    Let(LetNode),
+    Call(CallSite),
+    /// An explicit `drop(name)` — ends the named guard's liveness.
+    DropCall {
+        name: String,
+        line: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// Bare `loop { .. }` — unbounded by construction.
+    Loop,
+    /// `while cond { .. }` / `while let pat = e { .. }`.
+    While,
+    /// `for pat in expr { .. }` over a collection or closed range —
+    /// bounded by the iterated collection.
+    For,
+    /// `for pat in start.. { .. }` — an open range, unbounded.
+    ForOpenRange,
+}
+
+#[derive(Debug)]
+pub struct LoopNode {
+    pub kind: LoopKind,
+    pub label: Option<String>,
+    /// 1-indexed line of the loop keyword.
+    pub line: usize,
+    /// Nodes found in the loop header (the `while` condition / `for`
+    /// iterator expression) — evaluated outside the repeated body for
+    /// `for`, per-iteration for `while`.
+    pub header: Vec<Node>,
+    pub body: Vec<Node>,
+}
+
+#[derive(Debug)]
+pub struct ClosureNode {
+    pub line: usize,
+    /// Whether the closure is an argument to an iterator-adapter
+    /// method (`.map(|x| ..)`) — its body runs once per element, so
+    /// hot-loop rules treat it as a loop body.
+    pub iter_adapter: bool,
+    pub body: Vec<Node>,
+}
+
+#[derive(Debug)]
+pub struct LetNode {
+    /// First identifier bound by the pattern (`let (g, _) = ..` → `g`).
+    pub name: Option<String>,
+    /// 1-indexed line of the `let` keyword.
+    pub line: usize,
+    /// Whether the initializer produces a lock guard: a bare
+    /// `.lock()` / zero-arg `.read()` / `.write()` / free `lock(..)`
+    /// helper / condvar `.wait*(..)` rebind, with nothing chained
+    /// after it (so `m.lock().len()` is a temporary, not a guard).
+    pub is_guard: bool,
+    /// Whether the initializer calls `with_capacity` — a pre-sized
+    /// scratch buffer pushes may target inside hot loops.
+    pub is_with_capacity: bool,
+    /// Nodes found inside the initializer expression.
+    pub init: Vec<Node>,
+}
+
+/// What a call site invokes.
+#[derive(Debug)]
+pub enum Callee {
+    /// `name(..)` / `Type::name(..)` / `a::b::name(..)` — the `::`
+    /// path segments, generics stripped.
+    Path(Vec<String>),
+    /// `.name(..)` with the identifier immediately left of the dot,
+    /// if there is one (`keys.push(..)` → `Some("keys")`,
+    /// `f().push(..)` → `None`).
+    Method { name: String, recv: Option<String> },
+    /// `name!(..)` / `name![..]` / `name!{..}`.
+    Macro(String),
+}
+
+#[derive(Debug)]
+pub struct CallSite {
+    pub callee: Callee,
+    /// 1-indexed line of the callee name.
+    pub line: usize,
+    /// Bare identifiers appearing anywhere in the argument list (used
+    /// for the condvar-wait guard-handoff exemption).
+    pub arg_idents: Vec<String>,
+    /// Nested structure inside the argument list (closures, calls).
+    pub args: Vec<Node>,
+}
+
+/// Iterator-adapter methods whose closure argument runs once per
+/// element of the iterated collection.
+const ITER_ADAPTERS: &[&str] = &[
+    "map",
+    "for_each",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "try_fold",
+    "retain",
+    "any",
+    "all",
+    "position",
+    "find",
+    "find_map",
+    "scan",
+    "take_while",
+    "skip_while",
+    "max_by_key",
+    "min_by_key",
+    "max_by",
+    "min_by",
+    "sort_by_key",
+    "sort_by",
+    "sort_unstable_by",
+    "inspect",
+    "partition",
+    "reduce",
+    "map_while",
+    "flat_map_iter",
+];
+
+/// Parse one lexed file into items. Never fails; unrecognised token
+/// runs are skipped.
+pub fn parse(file: &LexedFile) -> ParsedFile {
+    let mut p = Parser {
+        toks: &file.tokens,
+        pos: 0,
+        fns: Vec::new(),
+    };
+    p.items(file.tokens.len(), None, None);
+    let mut parsed = ParsedFile { fns: p.fns };
+    for target in hot_marker_targets(file) {
+        // the marker shields the first fn item at or below its target
+        // line (attributes between marker and `fn` are fine: the fn
+        // keyword's line is still the first candidate ≥ the target)
+        if let Some(f) = parsed
+            .fns
+            .iter_mut()
+            .filter(|f| f.line >= target)
+            .min_by_key(|f| f.line)
+        {
+            f.hot_marker = true;
+        }
+    }
+    parsed
+}
+
+/// Target lines of `// amcad-lint: hot-path` markers (the marker's own
+/// line for a trailing comment, else the next code line below it).
+fn hot_marker_targets(file: &LexedFile) -> Vec<usize> {
+    let mut out = Vec::new();
+    for c in &file.comments {
+        if c.is_doc() {
+            continue; // docs may *mention* the marker without arming it
+        }
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("amcad-lint:") {
+            rest = &rest[at + "amcad-lint:".len()..];
+            if rest.trim_start().starts_with("hot-path") {
+                let target = if file.line_kind(c.start_line) == LineKind::Code {
+                    c.start_line
+                } else {
+                    file.next_code_line(c.end_line + 1).unwrap_or(c.end_line)
+                };
+                out.push(target);
+            }
+        }
+    }
+    out
+}
+
+/// How far an expression walk runs before handing back to its caller.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StopMode {
+    /// Consume everything up to `end` (statement lists, arg lists).
+    Run,
+    /// Stop (without consuming) at the first `{` at this nesting level
+    /// — loop/`if`/`match` headers, where `{` opens the body.
+    Brace,
+    /// Stop (without consuming) at `,` or `;` at this nesting level —
+    /// expression-bodied closures.
+    CommaOrSemi,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    fns: Vec<FnItem>,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.toks.get(i)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(name))
+    }
+
+    /// Index just past the delimiter closing the one at `open_idx`
+    /// (which must hold `open`), clamped to `limit` when unbalanced.
+    fn skip_matched(&self, open_idx: usize, open: char, close: char, limit: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open_idx;
+        while i < limit {
+            let t = &self.toks[i];
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        limit
+    }
+
+    /// Skip a balanced `<..>` generics region starting at `open_idx`.
+    /// `>` is not counted when it follows `-` or `=` (`->` / `=>`).
+    fn skip_angles(&self, open_idx: usize, limit: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open_idx;
+        while i < limit {
+            let t = &self.toks[i];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                let after_arrow = i > 0 && (self.is_punct(i - 1, '-') || self.is_punct(i - 1, '='));
+                if !after_arrow {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+        limit
+    }
+
+    /// Item-level walk over `[self.pos, end)`: collects `fn` items,
+    /// descends into `impl` / `trait` / `mod` bodies, skips the rest.
+    fn items(&mut self, end: usize, self_type: Option<&str>, trait_name: Option<&str>) {
+        while self.pos < end {
+            let i = self.pos;
+            let Some(t) = self.tok(i) else { break };
+            match &t.kind {
+                TokenKind::Ident(name) if name == "fn" => {
+                    if self.tok(i + 1).and_then(Token::ident).is_some() {
+                        self.fn_item(end, self_type, trait_name);
+                    } else {
+                        self.pos += 1; // `fn(..)` pointer type
+                    }
+                }
+                TokenKind::Ident(name) if name == "impl" => self.impl_item(end),
+                TokenKind::Ident(name) if name == "trait" => {
+                    // `trait Name .. { default bodies }`
+                    let tn = self.tok(i + 1).and_then(Token::ident).map(str::to_owned);
+                    self.pos = i + 1;
+                    while self.pos < end
+                        && !self.is_punct(self.pos, '{')
+                        && !self.is_punct(self.pos, ';')
+                    {
+                        self.pos += 1;
+                    }
+                    if self.is_punct(self.pos, '{') {
+                        let close = self.skip_matched(self.pos, '{', '}', end);
+                        self.pos += 1;
+                        self.items(close.saturating_sub(1), None, tn.as_deref());
+                        self.pos = close;
+                    }
+                }
+                TokenKind::Ident(name) if name == "mod" => {
+                    // descend into inline module bodies
+                    self.pos = i + 1;
+                    while self.pos < end
+                        && !self.is_punct(self.pos, '{')
+                        && !self.is_punct(self.pos, ';')
+                    {
+                        self.pos += 1;
+                    }
+                    if self.is_punct(self.pos, '{') {
+                        let close = self.skip_matched(self.pos, '{', '}', end);
+                        self.pos += 1;
+                        self.items(close.saturating_sub(1), self_type, trait_name);
+                        self.pos = close;
+                    }
+                }
+                TokenKind::Ident(name) if name == "macro_rules" => {
+                    // skip the whole definition: its body is patterns
+                    self.pos = i + 1;
+                    while self.pos < end && !self.is_punct(self.pos, '{') {
+                        self.pos += 1;
+                    }
+                    self.pos = self.skip_matched(self.pos, '{', '}', end);
+                }
+                TokenKind::Punct('{') => {
+                    // struct/enum/extern bodies: recurse — the `fn`
+                    // guard above keeps fn-pointer field types out
+                    let close = self.skip_matched(i, '{', '}', end);
+                    self.pos = i + 1;
+                    self.items(close.saturating_sub(1), self_type, trait_name);
+                    self.pos = close;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Parse `impl<..> Path (for Path)? (where ..)? { items }` with the
+    /// self-type (and trait) threaded into the contained fns.
+    fn impl_item(&mut self, end: usize) {
+        let mut i = self.pos + 1; // past `impl`
+        if self.is_punct(i, '<') {
+            i = self.skip_angles(i, end);
+        }
+        let (first, after_first) = self.type_path_last_segment(i, end);
+        let (self_ty, trait_ty, mut j) = if self.is_ident(after_first, "for") {
+            let (second, after_second) = self.type_path_last_segment(after_first + 1, end);
+            (second, first, after_second)
+        } else {
+            (first, None, after_first)
+        };
+        while j < end && !self.is_punct(j, '{') && !self.is_punct(j, ';') {
+            j += 1;
+        }
+        if self.is_punct(j, '{') {
+            let close = self.skip_matched(j, '{', '}', end);
+            self.pos = j + 1;
+            self.items(
+                close.saturating_sub(1),
+                self_ty.as_deref(),
+                trait_ty.as_deref(),
+            );
+            self.pos = close;
+        } else {
+            self.pos = j.max(self.pos + 1);
+        }
+    }
+
+    /// Read a type path at `i` (skipping `&`, `mut`, `dyn` and
+    /// lifetimes), returning the last path-segment identifier and the
+    /// index just past the path (generic args skipped).
+    fn type_path_last_segment(&self, mut i: usize, end: usize) -> (Option<String>, usize) {
+        while i < end {
+            match self.tok(i).map(|t| &t.kind) {
+                Some(TokenKind::Punct('&')) | Some(TokenKind::Punct('*')) => i += 1,
+                Some(TokenKind::Lifetime(_)) => i += 1,
+                Some(TokenKind::Ident(n)) if n == "mut" || n == "dyn" || n == "const" => i += 1,
+                _ => break,
+            }
+        }
+        let mut last = None;
+        while i < end {
+            let Some(TokenKind::Ident(n)) = self.tok(i).map(|t| &t.kind) else {
+                break;
+            };
+            if matches!(n.as_str(), "for" | "where") {
+                break;
+            }
+            last = Some(n.clone());
+            i += 1;
+            if self.is_punct(i, '<') {
+                i = self.skip_angles(i, end);
+            }
+            // the path continues only through a `::` separator
+            if self.is_punct(i, ':') && self.is_punct(i + 1, ':') {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        (last, i)
+    }
+
+    /// Parse one `fn` item starting at the `fn` keyword.
+    fn fn_item(&mut self, end: usize, self_type: Option<&str>, trait_name: Option<&str>) {
+        let fn_tok = &self.toks[self.pos];
+        let line = fn_tok.line;
+        let in_test = fn_tok.in_test;
+        let Some(name) = self.tok(self.pos + 1).and_then(Token::ident) else {
+            self.pos += 1;
+            return;
+        };
+        let name = name.to_owned();
+        let mut i = self.pos + 2;
+        if self.is_punct(i, '<') {
+            i = self.skip_angles(i, end);
+        }
+        if !self.is_punct(i, '(') {
+            self.pos = i.max(self.pos + 1);
+            return;
+        }
+        let params_close = self.skip_matched(i, '(', ')', end);
+        let mut_ref_params = self.mut_ref_params(i + 1, params_close.saturating_sub(1));
+        // return type / where clause: scan to the body `{` or a `;`
+        // (trait method declaration without a body)
+        let mut j = params_close;
+        while j < end && !self.is_punct(j, '{') && !self.is_punct(j, ';') {
+            // a `fn` keyword here means we ran off a malformed item
+            // (`impl` is fine: `-> impl Iterator<..>` return types)
+            if self.is_ident(j, "fn") {
+                break;
+            }
+            j += 1;
+        }
+        let body = if self.is_punct(j, '{') {
+            let close = self.skip_matched(j, '{', '}', end);
+            self.pos = j + 1;
+            let body = self.exprs(close.saturating_sub(1), StopMode::Run);
+            self.pos = close;
+            body
+        } else {
+            self.pos = (j + 1).min(end);
+            Vec::new()
+        };
+        self.fns.push(FnItem {
+            name,
+            self_type: self_type.map(str::to_owned),
+            trait_name: trait_name.map(str::to_owned),
+            line,
+            in_test,
+            hot_marker: false,
+            mut_ref_params,
+            body,
+        });
+    }
+
+    /// Parameter names whose type begins `&mut` (lifetime allowed:
+    /// `&'a mut`), scanned over `[start, end)` inside the fn parens.
+    fn mut_ref_params(&self, start: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut depth = 0usize;
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('>') if !(i > 0 && self.is_punct(i - 1, '-')) => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokenKind::Ident(name)
+                    if depth == 0 && self.is_punct(i + 1, ':') && !self.is_punct(i + 2, ':') =>
+                {
+                    let mut k = i + 2;
+                    if self.is_punct(k, '&') {
+                        k += 1;
+                        if matches!(self.tok(k).map(|t| &t.kind), Some(TokenKind::Lifetime(_))) {
+                            k += 1;
+                        }
+                        if self.is_ident(k, "mut") {
+                            out.push(name.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Expression/statement walk over `[self.pos, end)`. Returns the
+    /// nodes found; `self.pos` ends at `end` (or at the stop token for
+    /// the `Brace` / `CommaOrSemi` modes, unconsumed).
+    fn exprs(&mut self, end: usize, stop: StopMode) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        let mut label: Option<String> = None;
+        while self.pos < end {
+            let i = self.pos;
+            let t = &self.toks[i];
+            match &t.kind {
+                TokenKind::Punct('{') if stop == StopMode::Brace => break,
+                TokenKind::Punct(',') | TokenKind::Punct(';') if stop == StopMode::CommaOrSemi => {
+                    break
+                }
+                TokenKind::Punct('{') => {
+                    let close = self.skip_matched(i, '{', '}', end);
+                    self.pos = i + 1;
+                    let body = self.exprs(close.saturating_sub(1), StopMode::Run);
+                    nodes.push(Node::Block { line: t.line, body });
+                    self.pos = close;
+                }
+                TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                    let (open, close_c) = if t.is_punct('(') {
+                        ('(', ')')
+                    } else {
+                        ('[', ']')
+                    };
+                    let close = self.skip_matched(i, open, close_c, end);
+                    self.pos = i + 1;
+                    // transparent: nodes inside join the current list
+                    nodes.extend(self.exprs(close.saturating_sub(1), StopMode::Run));
+                    self.pos = close;
+                }
+                TokenKind::Punct('#') => {
+                    // statement-level attribute: skip to its `]`
+                    let mut k = i + 1;
+                    if self.is_punct(k, '!') {
+                        k += 1;
+                    }
+                    if self.is_punct(k, '[') {
+                        self.pos = self.skip_matched(k, '[', ']', end);
+                    } else {
+                        self.pos = i + 1;
+                    }
+                }
+                TokenKind::Punct('|') if self.closure_starts_at(i) => {
+                    nodes.push(self.closure(end, false));
+                }
+                TokenKind::Lifetime(l)
+                    if self.is_punct(i + 1, ':')
+                        && (self.is_ident(i + 2, "loop")
+                            || self.is_ident(i + 2, "while")
+                            || self.is_ident(i + 2, "for")) =>
+                {
+                    label = Some(l.clone());
+                    self.pos = i + 2;
+                    continue; // the loop keyword picks the label up
+                }
+                TokenKind::Ident(name) => {
+                    let taken = label.take();
+                    match name.as_str() {
+                        "let" if stop != StopMode::Brace => nodes.push(self.let_stmt(end)),
+                        "let" => self.pos += 1, // if-let / while-let header
+                        "loop" => {
+                            self.pos = i + 1;
+                            let body = self.braced_body(end);
+                            nodes.push(Node::Loop(LoopNode {
+                                kind: LoopKind::Loop,
+                                label: taken,
+                                line: t.line,
+                                header: Vec::new(),
+                                body,
+                            }));
+                        }
+                        "while" => {
+                            self.pos = i + 1;
+                            if self.is_ident(self.pos, "let") {
+                                self.pos += 1;
+                            }
+                            let header = self.exprs(end, StopMode::Brace);
+                            let body = self.braced_body(end);
+                            nodes.push(Node::Loop(LoopNode {
+                                kind: LoopKind::While,
+                                label: taken,
+                                line: t.line,
+                                header,
+                                body,
+                            }));
+                        }
+                        "for" if !self.is_punct(i + 1, '<') => {
+                            // `for pat in header { body }` (a `for<'a>`
+                            // higher-ranked bound is skipped above)
+                            self.pos = i + 1;
+                            while self.pos < end
+                                && !self.is_ident(self.pos, "in")
+                                && !self.is_punct(self.pos, '{')
+                            {
+                                // patterns may contain parens: jump them
+                                if self.is_punct(self.pos, '(') {
+                                    self.pos = self.skip_matched(self.pos, '(', ')', end);
+                                } else {
+                                    self.pos += 1;
+                                }
+                            }
+                            if self.is_ident(self.pos, "in") {
+                                self.pos += 1;
+                            }
+                            let header_start = self.pos;
+                            let header = self.exprs(end, StopMode::Brace);
+                            let header_end = self.pos;
+                            // `start..` open range: the header's last two
+                            // tokens before the body brace are `..`
+                            let open_range = header_end >= header_start + 2
+                                && self.is_punct(header_end - 1, '.')
+                                && self.is_punct(header_end - 2, '.');
+                            let body = self.braced_body(end);
+                            nodes.push(Node::Loop(LoopNode {
+                                kind: if open_range {
+                                    LoopKind::ForOpenRange
+                                } else {
+                                    LoopKind::For
+                                },
+                                label: taken,
+                                line: t.line,
+                                header,
+                                body,
+                            }));
+                        }
+                        "if" => {
+                            self.pos = i + 1;
+                            if self.is_ident(self.pos, "let") {
+                                self.pos += 1;
+                            }
+                            nodes.extend(self.exprs(end, StopMode::Brace));
+                            // the `{` body is handled by the next turn
+                        }
+                        "match" => {
+                            self.pos = i + 1;
+                            nodes.extend(self.exprs(end, StopMode::Brace));
+                        }
+                        "drop" if self.is_punct(i + 1, '(') => {
+                            let close = self.skip_matched(i + 1, '(', ')', end);
+                            let only_ident =
+                                close == i + 4 && self.tok(i + 2).and_then(Token::ident).is_some();
+                            if only_ident {
+                                let dropped =
+                                    self.tok(i + 2).and_then(Token::ident).unwrap().to_owned();
+                                nodes.push(Node::DropCall {
+                                    name: dropped,
+                                    line: t.line,
+                                });
+                                self.pos = close;
+                            } else {
+                                nodes.push(self.call(i, end));
+                            }
+                        }
+                        "macro_rules" => {
+                            self.pos = i + 1;
+                            while self.pos < end && !self.is_punct(self.pos, '{') {
+                                self.pos += 1;
+                            }
+                            self.pos = self.skip_matched(self.pos, '{', '}', end);
+                        }
+                        _ if self.is_punct(i + 1, '!')
+                            && (self.is_punct(i + 2, '(')
+                                || self.is_punct(i + 2, '[')
+                                || self.is_punct(i + 2, '{')) =>
+                        {
+                            nodes.push(self.macro_call(i, end));
+                        }
+                        _ if self.is_punct(i + 1, '(') => nodes.push(self.call(i, end)),
+                        _ => self.pos += 1,
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+        nodes
+    }
+
+    /// Parse the `{ .. }` body that follows a loop keyword/header.
+    fn braced_body(&mut self, end: usize) -> Vec<Node> {
+        if !self.is_punct(self.pos, '{') {
+            return Vec::new();
+        }
+        let close = self.skip_matched(self.pos, '{', '}', end);
+        self.pos += 1;
+        let body = self.exprs(close.saturating_sub(1), StopMode::Run);
+        self.pos = close;
+        body
+    }
+
+    /// Whether the `|` at `i` begins a closure (as opposed to a
+    /// bitwise/logical `|` or an or-pattern).
+    fn closure_starts_at(&self, i: usize) -> bool {
+        match i.checked_sub(1).and_then(|p| self.tok(p)).map(|t| &t.kind) {
+            None => true,
+            Some(TokenKind::Punct(c)) => matches!(c, '(' | ',' | '=' | '{' | '[' | ';' | ':' | '>'),
+            Some(TokenKind::Ident(name)) => {
+                matches!(name.as_str(), "move" | "return" | "else" | "in" | "box")
+            }
+            _ => false,
+        }
+    }
+
+    /// Parse a closure starting at the opening `|`.
+    fn closure(&mut self, end: usize, iter_adapter: bool) -> Node {
+        let line = self.toks[self.pos].line;
+        self.pos += 1; // opening |
+        if !self.is_punct(self.pos, '|') {
+            // parameter list: runs to the next `|` (types inside have
+            // no pipes; nested parens cannot hide one either)
+            while self.pos < end && !self.is_punct(self.pos, '|') {
+                self.pos += 1;
+            }
+        }
+        if self.is_punct(self.pos, '|') {
+            self.pos += 1;
+        }
+        // skip a `-> Type` return annotation up to its `{`
+        if self.is_punct(self.pos, '-') && self.is_punct(self.pos + 1, '>') {
+            while self.pos < end && !self.is_punct(self.pos, '{') {
+                self.pos += 1;
+            }
+        }
+        let body = if self.is_punct(self.pos, '{') {
+            self.braced_body(end)
+        } else {
+            self.exprs(end, StopMode::CommaOrSemi)
+        };
+        Node::Closure(ClosureNode {
+            line,
+            iter_adapter,
+            body,
+        })
+    }
+
+    /// Parse a path or method call whose callee name sits at `i`
+    /// (with `(` at `i + 1`).
+    fn call(&mut self, i: usize, end: usize) -> Node {
+        let name = self.tok(i).and_then(Token::ident).unwrap_or("").to_owned();
+        let line = self.toks[i].line;
+        let callee = if i > 0 && self.is_punct(i - 1, '.') {
+            let recv = i
+                .checked_sub(2)
+                .and_then(|p| self.tok(p))
+                .and_then(Token::ident)
+                .map(str::to_owned);
+            Callee::Method { name, recv }
+        } else {
+            Callee::Path(self.path_segments_ending_at(i, name))
+        };
+        let close = self.skip_matched(i + 1, '(', ')', end);
+        let arg_idents = self.bare_idents(i + 2, close.saturating_sub(1));
+        self.pos = i + 2;
+        let mut args = self.exprs(close.saturating_sub(1), StopMode::Run);
+        self.pos = close;
+        if let Callee::Method { name, .. } = &callee {
+            if ITER_ADAPTERS.contains(&name.as_str()) {
+                mark_iter_adapter(&mut args);
+            }
+        }
+        Node::Call(CallSite {
+            callee,
+            line,
+            arg_idents,
+            args,
+        })
+    }
+
+    /// Walk `::` path segments backwards from the callee name at `i`
+    /// (`a::b::name` → `["a", "b", "name"]`, turbofish skipped).
+    fn path_segments_ending_at(&self, i: usize, name: String) -> Vec<String> {
+        let mut segs = vec![name];
+        let mut j = i;
+        while let Some(p2) = j.checked_sub(2) {
+            if !(self.is_punct(j - 1, ':') && self.is_punct(p2, ':')) {
+                break;
+            }
+            let mut k = p2; // first token before the `::`
+            let Some(prev) = k.checked_sub(1) else { break };
+            // `Vec::<T>::new` — hop backwards over the turbofish
+            if self.is_punct(prev, '>') {
+                let mut depth = 0usize;
+                let mut b = prev;
+                loop {
+                    if self.is_punct(b, '>') {
+                        depth += 1;
+                    } else if self.is_punct(b, '<') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    let Some(nb) = b.checked_sub(1) else { break };
+                    b = nb;
+                }
+                k = b;
+                let Some(nk) = k.checked_sub(1) else { break };
+                if !(self.is_punct(nk, ':') && nk >= 1 && self.is_punct(nk - 1, ':')) {
+                    break;
+                }
+                k = nk - 1;
+                let Some(nk2) = k.checked_sub(1) else { break };
+                if let Some(seg) = self.tok(nk2).and_then(Token::ident) {
+                    segs.insert(0, seg.to_owned());
+                    j = nk2;
+                    continue;
+                }
+                break;
+            }
+            if let Some(seg) = self.tok(prev).and_then(Token::ident) {
+                segs.insert(0, seg.to_owned());
+                j = prev;
+            } else {
+                break;
+            }
+        }
+        segs
+    }
+
+    /// Parse `name!(..)` / `name![..]` / `name!{..}` at `i`.
+    fn macro_call(&mut self, i: usize, end: usize) -> Node {
+        let name = self.tok(i).and_then(Token::ident).unwrap_or("").to_owned();
+        let line = self.toks[i].line;
+        let open_idx = i + 2;
+        let (open, close_c) = match self.tok(open_idx).map(|t| &t.kind) {
+            Some(TokenKind::Punct('[')) => ('[', ']'),
+            Some(TokenKind::Punct('{')) => ('{', '}'),
+            _ => ('(', ')'),
+        };
+        let close = self.skip_matched(open_idx, open, close_c, end);
+        let arg_idents = self.bare_idents(open_idx + 1, close.saturating_sub(1));
+        self.pos = open_idx + 1;
+        let args = self.exprs(close.saturating_sub(1), StopMode::Run);
+        self.pos = close;
+        Node::Call(CallSite {
+            callee: Callee::Macro(name),
+            line,
+            arg_idents,
+            args,
+        })
+    }
+
+    /// Bare identifiers (minus binding keywords) over `[start, end)`.
+    fn bare_idents(&self, start: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for k in start..end.min(self.toks.len()) {
+            if let Some(name) = self.toks[k].ident() {
+                if !matches!(name, "mut" | "move" | "ref" | "as" | "in" | "let") {
+                    out.push(name.to_owned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a `let` statement starting at the `let` keyword.
+    fn let_stmt(&mut self, end: usize) -> Node {
+        let line = self.toks[self.pos].line;
+        let mut i = self.pos + 1;
+        // pattern (+ optional type annotation) up to `=` at depth 0
+        let mut name = None;
+        let mut depth = 0usize;
+        while i < end {
+            let t = &self.toks[i];
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('>') if !(i > 0 && self.is_punct(i - 1, '-')) => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokenKind::Punct('=') if depth == 0 && !self.is_punct(i + 1, '=') => break,
+                TokenKind::Punct(';') if depth == 0 => break, // `let x;`
+                TokenKind::Ident(n)
+                    if name.is_none() && !matches!(n.as_str(), "mut" | "ref" | "box") =>
+                {
+                    name = Some(n.clone());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !self.is_punct(i, '=') {
+            self.pos = (i + 1).min(end);
+            return Node::Let(LetNode {
+                name,
+                line,
+                is_guard: false,
+                is_with_capacity: false,
+                init: Vec::new(),
+            });
+        }
+        let init_start = i + 1;
+        self.pos = init_start;
+        let init = self.exprs(end, StopMode::CommaOrSemi);
+        let init_end = self.pos;
+        if self.is_punct(self.pos, ';') {
+            self.pos += 1;
+        }
+        let is_guard = self.init_is_guard(init_start, init_end);
+        let is_with_capacity =
+            (init_start..init_end.min(self.toks.len())).any(|k| self.is_ident(k, "with_capacity"));
+        Node::Let(LetNode {
+            name,
+            line,
+            is_guard,
+            is_with_capacity,
+            init,
+        })
+    }
+
+    /// Whether the initializer token range produces a lock guard: its
+    /// outermost value comes from `.lock()` / zero-arg `.read()` /
+    /// `.write()` / a free `lock(..)` helper / a condvar `.wait*(..)`,
+    /// with at most an `.unwrap()` / `.expect(..)` chained after.
+    fn init_is_guard(&self, start: usize, end: usize) -> bool {
+        let end = end.min(self.toks.len());
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            let method = i > start && self.is_punct(i - 1, '.');
+            let produced_guard = match t.ident() {
+                Some("lock") if method && self.is_punct(i + 1, '(') => {
+                    self.is_punct(i + 2, ')') // zero-arg `.lock()`
+                }
+                Some("read") | Some("write") if method && self.is_punct(i + 1, '(') => {
+                    self.is_punct(i + 2, ')')
+                }
+                Some("lock") if !method && self.is_punct(i + 1, '(') => true, // `lock(&m)` helper
+                Some("wait") | Some("wait_timeout") | Some("wait_while")
+                    if method && self.is_punct(i + 1, '(') =>
+                {
+                    true
+                }
+                _ => false,
+            };
+            if produced_guard {
+                // nothing may be chained after the call (besides
+                // `.unwrap()` / `.expect(..)`) — otherwise the guard
+                // is a dropped temporary, not this binding's value
+                let mut k = self.skip_matched(i + 1, '(', ')', end);
+                loop {
+                    if k >= end {
+                        return true;
+                    }
+                    if self.is_punct(k, '.')
+                        && (self.is_ident(k + 1, "unwrap") || self.is_ident(k + 1, "expect"))
+                        && self.is_punct(k + 2, '(')
+                    {
+                        k = self.skip_matched(k + 2, '(', ')', end);
+                        continue;
+                    }
+                    break;
+                }
+                return false;
+            }
+            i += 1;
+        }
+        false
+    }
+}
+
+/// Flag top-level closures in an iterator-adapter argument list.
+fn mark_iter_adapter(args: &mut [Node]) {
+    for node in args {
+        if let Node::Closure(c) = node {
+            c.iter_adapter = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn `{name}` parsed"))
+    }
+
+    /// All call sites in a body, recursively.
+    fn calls(nodes: &[Node], out: &mut Vec<String>) {
+        for n in nodes {
+            match n {
+                Node::Call(c) => {
+                    out.push(match &c.callee {
+                        Callee::Path(segs) => segs.join("::"),
+                        Callee::Method { name, .. } => format!(".{name}"),
+                        Callee::Macro(name) => format!("{name}!"),
+                    });
+                    calls(&c.args, out);
+                }
+                Node::Loop(l) => {
+                    calls(&l.header, out);
+                    calls(&l.body, out);
+                }
+                Node::Closure(c) => calls(&c.body, out),
+                Node::Block { body, .. } => calls(body, out),
+                Node::Let(l) => calls(&l.init, out),
+                Node::DropCall { .. } => {}
+            }
+        }
+    }
+
+    fn call_names(f: &FnItem) -> Vec<String> {
+        let mut out = Vec::new();
+        calls(&f.body, &mut out);
+        out
+    }
+
+    #[test]
+    fn impl_blocks_resolve_self_type_and_trait() {
+        let p = parse_src(
+            "impl Engine { fn inherent(&self) {} }\n\
+             impl Retrieve for Engine { fn retrieve(&self, q: &Q) {} }\n\
+             impl<'a> View<'a> { fn get_ref(&self) {} }\n\
+             fn free() {}\n",
+        );
+        let inherent = fn_named(&p, "inherent");
+        assert_eq!(inherent.self_type.as_deref(), Some("Engine"));
+        assert_eq!(inherent.trait_name, None);
+        let retrieve = fn_named(&p, "retrieve");
+        assert_eq!(retrieve.self_type.as_deref(), Some("Engine"));
+        assert_eq!(retrieve.trait_name.as_deref(), Some("Retrieve"));
+        let get_ref = fn_named(&p, "get_ref");
+        assert_eq!(get_ref.self_type.as_deref(), Some("View"));
+        let free = fn_named(&p, "free");
+        assert_eq!(free.self_type, None);
+    }
+
+    #[test]
+    fn trait_decls_give_default_bodies_the_trait_name() {
+        let p = parse_src(
+            "trait Retrieve { fn retrieve(&self, q: &Q) -> R; fn both(&self) { helper(); } }\n",
+        );
+        let decl = fn_named(&p, "retrieve");
+        assert_eq!(decl.trait_name.as_deref(), Some("Retrieve"));
+        assert!(decl.body.is_empty(), "declaration without a body");
+        let default = fn_named(&p, "both");
+        assert_eq!(default.trait_name.as_deref(), Some("Retrieve"));
+        assert_eq!(call_names(default), vec!["helper"]);
+    }
+
+    #[test]
+    fn labeled_and_nested_loops_parse_with_kinds() {
+        let src = "fn f(xs: &[u32]) {\n\
+                   'outer: loop {\n\
+                       for x in xs {\n\
+                           while *x > 0 { work(x); }\n\
+                       }\n\
+                       for i in 0.. { probe(i); }\n\
+                   }\n\
+                   }\n";
+        let p = parse_src(src);
+        let f = fn_named(&p, "f");
+        let Node::Loop(outer) = &f.body[0] else {
+            panic!("expected loop, got {:?}", f.body[0]);
+        };
+        assert_eq!(outer.kind, LoopKind::Loop);
+        assert_eq!(outer.label.as_deref(), Some("'outer"));
+        let kinds: Vec<LoopKind> = outer
+            .body
+            .iter()
+            .filter_map(|n| match n {
+                Node::Loop(l) => Some(l.kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![LoopKind::For, LoopKind::ForOpenRange]);
+        let Node::Loop(for_loop) = &outer.body[0] else {
+            panic!()
+        };
+        let Node::Loop(while_loop) = &for_loop.body[0] else {
+            panic!("expected while inside for, got {:?}", for_loop.body[0]);
+        };
+        assert_eq!(while_loop.kind, LoopKind::While);
+        assert_eq!(call_names(f), vec!["work", "probe"]);
+    }
+
+    #[test]
+    fn nested_closures_and_iter_adapters() {
+        let src = "fn f(v: &[u32]) -> Vec<u32> {\n\
+                   v.iter().map(|x| other.iter().filter(|y| keep(x, y)).count()).collect()\n\
+                   }\n";
+        let p = parse_src(src);
+        let f = fn_named(&p, "f");
+        // find the map call and its closure
+        let mut found = false;
+        fn walk(nodes: &[Node], found: &mut bool) {
+            for n in nodes {
+                match n {
+                    Node::Call(c) => {
+                        if matches!(&c.callee, Callee::Method { name, .. } if name == "map") {
+                            let Some(Node::Closure(outer)) =
+                                c.args.iter().find(|a| matches!(a, Node::Closure(_)))
+                            else {
+                                panic!("map takes a closure");
+                            };
+                            assert!(outer.iter_adapter, "map closure is an adapter body");
+                            // the inner filter closure nests inside it
+                            let mut inner_calls = Vec::new();
+                            calls(&outer.body, &mut inner_calls);
+                            assert!(inner_calls.contains(&".filter".to_owned()));
+                            assert!(inner_calls.contains(&"keep".to_owned()));
+                            *found = true;
+                        }
+                        walk(&c.args, found);
+                    }
+                    Node::Closure(c) => walk(&c.body, found),
+                    Node::Block { body, .. } => walk(body, found),
+                    Node::Let(l) => walk(&l.init, found),
+                    Node::Loop(l) => {
+                        walk(&l.header, found);
+                        walk(&l.body, found);
+                    }
+                    Node::DropCall { .. } => {}
+                }
+            }
+        }
+        walk(&f.body, &mut found);
+        assert!(found, "map call with closure argument parsed");
+    }
+
+    #[test]
+    fn method_call_chains_record_receivers_and_paths() {
+        let src = "fn f(keys: &mut Vec<u32>, m: &M) {\n\
+                   keys.push(derive(m));\n\
+                   let v = Vec::<u32>::with_capacity(8);\n\
+                   engine.retriever().key_candidates(k, n).to_vec();\n\
+                   }\n";
+        let p = parse_src(src);
+        let f = fn_named(&p, "f");
+        assert_eq!(f.mut_ref_params, vec!["keys"]);
+        let names = call_names(f);
+        assert!(names.contains(&".push".to_owned()));
+        assert!(names.contains(&"derive".to_owned()));
+        assert!(
+            names.contains(&"Vec::with_capacity".to_owned()),
+            "{names:?}"
+        );
+        assert!(names.contains(&".key_candidates".to_owned()));
+        assert!(names.contains(&".to_vec".to_owned()));
+        // receiver of the push is `keys`
+        let Node::Call(push) = &f.body[0] else {
+            panic!()
+        };
+        let Callee::Method { name, recv } = &push.callee else {
+            panic!()
+        };
+        assert_eq!(name, "push");
+        assert_eq!(recv.as_deref(), Some("keys"));
+    }
+
+    #[test]
+    fn impl_trait_fns_and_where_clauses_parse() {
+        let src = "fn make(n: usize) -> impl Iterator<Item = u32> + '_ where u32: Copy {\n\
+                   (0..n as u32).map(|i| i * 2)\n\
+                   }\n";
+        let p = parse_src(src);
+        let f = fn_named(&p, "make");
+        assert_eq!(f.name, "make");
+        let names = call_names(f);
+        assert!(names.contains(&".map".to_owned()));
+    }
+
+    #[test]
+    fn let_classifies_guards_and_with_capacity() {
+        let src = "fn f(m: &Mutex<u32>, q: &RwLock<u32>) {\n\
+                   let g = m.lock();\n\
+                   let h = lock(&q);\n\
+                   let r = q.read();\n\
+                   let n = m.lock().saturating_add(1);\n\
+                   let (g2, timed) = cv.wait_timeout(g, dur);\n\
+                   let mut buf = Vec::with_capacity(16);\n\
+                   drop(h);\n\
+                   }\n";
+        let p = parse_src(src);
+        let f = fn_named(&p, "f");
+        let lets: Vec<(&str, bool, bool)> = f
+            .body
+            .iter()
+            .filter_map(|n| match n {
+                Node::Let(l) => Some((
+                    l.name.as_deref().unwrap_or(""),
+                    l.is_guard,
+                    l.is_with_capacity,
+                )),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lets,
+            vec![
+                ("g", true, false),
+                ("h", true, false),
+                ("r", true, false),
+                ("n", false, false), // chained call: a dropped temporary
+                ("g2", true, false), // condvar rebind, tuple pattern
+                ("buf", false, true),
+            ]
+        );
+        assert!(f
+            .body
+            .iter()
+            .any(|n| matches!(n, Node::DropCall { name, .. } if name == "h")));
+    }
+
+    #[test]
+    fn hot_path_marker_attaches_to_the_next_fn() {
+        let src = "fn cold() {}\n\
+                   // amcad-lint: hot-path — parked worker dispatch\n\
+                   #[inline]\n\
+                   fn dispatch() {}\n\
+                   fn also_cold() {}\n";
+        let p = parse_src(src);
+        assert!(!fn_named(&p, "cold").hot_marker);
+        assert!(fn_named(&p, "dispatch").hot_marker);
+        assert!(!fn_named(&p, "also_cold").hot_marker);
+    }
+
+    #[test]
+    fn fn_pointer_types_in_struct_fields_are_not_items() {
+        let src = "struct Hooks { cb: fn(u32) -> u32 }\n\
+                   fn real() {}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn test_fns_carry_the_in_test_flag() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn probe() { live(); }\n\
+                   }\n";
+        let p = parse_src(src);
+        assert!(!fn_named(&p, "live").in_test);
+        assert!(fn_named(&p, "probe").in_test);
+    }
+
+    #[test]
+    fn match_arms_and_struct_literals_do_not_derail_the_walk() {
+        let src = "fn f(x: Option<u32>) -> State {\n\
+                   match probe(x) {\n\
+                       Some(1 | 2) => State { count: make(x), flag: true },\n\
+                       _ => State::default(),\n\
+                   }\n\
+                   }\n";
+        let p = parse_src(src);
+        let names = call_names(fn_named(&p, "f"));
+        assert!(names.contains(&"probe".to_owned()));
+        assert!(names.contains(&"make".to_owned()));
+        assert!(names.contains(&"State::default".to_owned()));
+    }
+}

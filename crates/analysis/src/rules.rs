@@ -1,6 +1,8 @@
-//! The six deny-by-default rules. Each is a token-pattern check over a
-//! [`LexedFile`]; see `src/README.md` for the contract behind each rule
-//! and the incident that motivated it.
+//! The six token-pattern deny-by-default rules. Each is a pattern
+//! check over a [`LexedFile`]; see `src/README.md` for the contract
+//! behind each rule and the incident that motivated it. The three
+//! structural rules (`alloc-in-hot-loop`, `guard-across-park`,
+//! `unbounded-fanout`) live in [`crate::structural`].
 
 use crate::lexer::{LexedFile, LineKind, Token, TokenKind};
 use std::collections::BTreeSet;
@@ -13,6 +15,9 @@ pub const RULE_NAMES: &[&str] = &[
     "relaxed-justified",
     "thread-discipline",
     "no-std-sync-primitives",
+    "alloc-in-hot-loop",
+    "guard-across-park",
+    "unbounded-fanout",
 ];
 
 /// One rule violation before waiver resolution.

@@ -378,3 +378,299 @@ fn f() { std::thread::spawn(|| {}); }
         "the compat stubs mirror external APIs and are exempt"
     );
 }
+
+// ---------------------------------------------------------------- alloc-in-hot-loop
+
+#[test]
+fn alloc_in_hot_loop_fires_only_in_hot_reachable_fns() {
+    let src = r#"
+// amcad-lint: hot-path — fixture serving loop
+fn serve(keys: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for _key in keys {
+        let mut list = Vec::new();
+        list.push(1);
+        out.push(list);
+    }
+    out
+}
+
+fn cold(keys: &[u32]) {
+    for _key in keys {
+        let _v: Vec<u32> = Vec::new();
+    }
+}
+"#;
+    let hits: Vec<usize> = unwaived(PLAIN_PATH, src)
+        .into_iter()
+        .filter(|(r, _)| *r == "alloc-in-hot-loop")
+        .map(|(_, l)| l)
+        .collect();
+    assert_eq!(
+        hits,
+        vec![6, 7, 8],
+        "ctor, push into a non-scratch local, and push into an unsized \
+         local all fire inside the marked fn; the cold fn is untouched"
+    );
+}
+
+#[test]
+fn alloc_in_hot_loop_propagates_through_the_call_graph() {
+    let src = r#"
+struct Engine;
+
+impl Retrieve for Engine {
+    fn retrieve(&self, keys: &[u32]) -> usize {
+        helper(keys)
+    }
+}
+
+fn helper(keys: &[u32]) -> usize {
+    let mut n = 0;
+    for key in keys {
+        let label = format!("{key}");
+        n += label.len();
+    }
+    n
+}
+"#;
+    let hits = unwaived(PLAIN_PATH, src);
+    assert!(
+        hits.iter()
+            .any(|&(r, l)| r == "alloc-in-hot-loop" && l == 13),
+        "helper is hot because the Retrieve impl calls it: {hits:?}"
+    );
+}
+
+#[test]
+fn alloc_in_hot_loop_accepts_hoisted_scratch_buffers() {
+    let src = r#"
+// amcad-lint: hot-path — fixture serving loop
+fn serve(keys: &[u32], out: &mut Vec<u32>) {
+    let mut scratch = Vec::with_capacity(keys.len());
+    for key in keys {
+        scratch.push(*key);
+        out.push(*key);
+    }
+}
+"#;
+    assert!(
+        unwaived(PLAIN_PATH, src).is_empty(),
+        "&mut-param and with_capacity-local pushes are the hoisted pattern"
+    );
+}
+
+#[test]
+fn alloc_in_hot_loop_exempts_test_fns_and_never_seeds_from_them() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    // amcad-lint: hot-path — markers on test code never seed
+    fn probe() {
+        let keys = [1u32];
+        for _k in &keys {
+            let _v: Vec<u32> = Vec::new();
+        }
+    }
+}
+"#;
+    assert!(
+        unwaived(PLAIN_PATH, src).is_empty(),
+        "test fns are skipped and never seed hotness"
+    );
+}
+
+#[test]
+fn alloc_in_hot_loop_waives_with_reason() {
+    let src = r#"
+// amcad-lint: hot-path — fixture serving loop
+fn serve(keys: &[u32]) -> usize {
+    let mut n = 0;
+    for key in keys {
+        // amcad-lint: allow(alloc-in-hot-loop) — fixture: output strings are owned per key
+        let label = format!("{key}");
+        n += label.len();
+    }
+    n
+}
+"#;
+    let diags = lint(PLAIN_PATH, src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "alloc-in-hot-loop" && d.waived),
+        "the diagnostic is still recorded, waived"
+    );
+    assert!(unwaived(PLAIN_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------------- guard-across-park
+
+#[test]
+fn guard_across_park_fires_when_a_second_guard_outlives_the_handoff() {
+    let src = r#"
+fn drain(q: &Queue) {
+    let stats = lock(&q.stats);
+    let mut items = lock(&q.items);
+    while items.is_empty() {
+        items = q.ready.wait(items).unwrap();
+    }
+    consume(&stats);
+}
+"#;
+    let hits = unwaived(PLAIN_PATH, src);
+    assert!(
+        hits.iter()
+            .any(|&(r, l)| r == "guard-across-park" && l == 6),
+        "`stats` is live across the wait; only the handed-off guard is exempt: {hits:?}"
+    );
+}
+
+#[test]
+fn guard_across_park_accepts_the_condvar_handoff_and_dropped_guards() {
+    let src = r#"
+fn drain(q: &Queue) {
+    let stats = lock(&q.stats);
+    record(&stats);
+    drop(stats);
+    let mut items = lock(&q.items);
+    while items.is_empty() {
+        items = q.ready.wait(items).unwrap();
+    }
+}
+"#;
+    assert!(
+        unwaived(PLAIN_PATH, src).is_empty(),
+        "wait(guard) consumes its guard, and drop(..) ends the other's liveness"
+    );
+}
+
+#[test]
+fn guard_across_park_sees_parks_through_the_call_graph() {
+    let src = r#"
+fn parky(q: &Queue) {
+    let mut g = lock(&q.items);
+    g = q.ready.wait(g).unwrap();
+    drop(g);
+}
+
+fn caller(q: &Queue) {
+    let held = lock(&q.stats);
+    parky(q);
+    consume(&held);
+}
+"#;
+    let hits = unwaived(PLAIN_PATH, src);
+    assert!(
+        hits.iter()
+            .any(|&(r, l)| r == "guard-across-park" && l == 10),
+        "parky() can park, so holding `held` across the call fires: {hits:?}"
+    );
+}
+
+// ---------------------------------------------------------------- unbounded-fanout
+
+const RUNTIME_PATH: &str = "crates/retrieval/src/runtime/worker.rs";
+
+#[test]
+fn unbounded_fanout_fires_on_structurally_unbounded_loops() {
+    let src = r#"
+fn dispatch() {
+    loop {
+        step();
+    }
+}
+
+fn drain(q: &Q) {
+    while q.busy() {
+        step();
+    }
+    for i in 0.. {
+        probe(i);
+    }
+}
+"#;
+    let hits: Vec<usize> = unwaived(RUNTIME_PATH, src)
+        .into_iter()
+        .filter(|(r, _)| *r == "unbounded-fanout")
+        .map(|(_, l)| l)
+        .collect();
+    assert_eq!(
+        hits,
+        vec![3, 9, 12],
+        "bare loop, while, and open-range for all lack a structural bound"
+    );
+}
+
+#[test]
+fn unbounded_fanout_accepts_bounded_for_and_is_scoped_to_fanout_files() {
+    let bounded = r#"
+fn fan_out(shards: &[Shard]) {
+    for shard in shards {
+        probe(shard);
+    }
+    for r in 0..shards.len() {
+        probe_idx(r);
+    }
+}
+"#;
+    assert!(
+        unwaived(RUNTIME_PATH, bounded).is_empty(),
+        "for over a collection or closed range is bounded by construction"
+    );
+
+    let spin = "fn spin() { loop { step(); } }\n";
+    assert!(
+        unwaived(PLAIN_PATH, spin).is_empty(),
+        "the rule is scoped to runtime/ and shard.rs"
+    );
+    assert!(
+        unwaived("crates/retrieval/src/shard.rs", spin)
+            .iter()
+            .any(|(r, _)| *r == "unbounded-fanout"),
+        "shard.rs is fan-out code"
+    );
+}
+
+#[test]
+fn unbounded_fanout_waives_with_reason() {
+    let src = r#"
+fn dispatch() {
+    // amcad-lint: allow(unbounded-fanout) — fixture: exits via the shutdown flag
+    loop {
+        step();
+    }
+}
+"#;
+    assert!(unwaived(RUNTIME_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------------- allow enumeration
+
+#[test]
+fn allows_are_enumerated_with_reasons_and_targets() {
+    use amcad_lint::{allows_in_sources, SourceUnit};
+    let src = r#"
+fn fan_out() {
+    // amcad-lint: allow(thread-discipline) — fixture: vetted probe thread
+    std::thread::spawn(|| {});
+}
+"#;
+    let units = vec![SourceUnit {
+        path: PLAIN_PATH.to_string(),
+        source: src.to_string(),
+        all_test: false,
+    }];
+    let allows = allows_in_sources(&units);
+    assert_eq!(allows.len(), 1);
+    let a = &allows[0];
+    assert_eq!(a.rule, "thread-discipline");
+    assert_eq!(a.line, 3);
+    assert_eq!(a.target_line, 4);
+    assert_eq!(a.reason, "fixture: vetted probe thread");
+    assert_eq!(
+        a.to_string(),
+        format!("{PLAIN_PATH}:3: allow(thread-discipline) — fixture: vetted probe thread")
+    );
+}

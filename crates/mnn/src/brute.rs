@@ -142,6 +142,7 @@ pub(crate) fn scan_top_k(
         if exclude_id == Some(cand_id) {
             continue;
         }
+        // amcad-lint: allow(alloc-in-hot-loop) — TopK's heap is pre-sized to k+1 at construction and never grows past it
         topk.push(candidates.distance_to(query, query_weight, j), cand_id);
     }
     topk.into_sorted()

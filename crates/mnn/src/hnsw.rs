@@ -372,8 +372,11 @@ impl HnswIndex {
     ) -> Vec<DistSlot> {
         let ef = ef.max(1);
         visited.begin(self.candidates.len());
-        let mut frontier: BinaryHeap<Reverse<DistSlot>> = BinaryHeap::new();
-        let mut best: BinaryHeap<DistSlot> = BinaryHeap::new(); // max-heap: worst kept on top
+        // `best` is hard-bounded by ef (+1 transiently); `frontier`
+        // usually stays near ef too — pre-size both so the search loop
+        // allocates only when the expansion genuinely outgrows ef
+        let mut frontier: BinaryHeap<Reverse<DistSlot>> = BinaryHeap::with_capacity(ef + 1);
+        let mut best: BinaryHeap<DistSlot> = BinaryHeap::with_capacity(ef + 1); // max-heap: worst kept on top
         for &e in entries {
             if visited.visit(e.slot) {
                 continue;
@@ -525,15 +528,19 @@ impl HnswIndex {
             return Vec::new();
         }
         let entry = self.entry.expect("a non-empty index has an entry point");
-        let mut entries = vec![DistSlot {
+        // single-slot buffer reused across the layer descent instead of
+        // a fresh one-element Vec per layer
+        let mut entries = Vec::with_capacity(1);
+        entries.push(DistSlot {
             dist: self.slot_distance(query, query_weight, entry),
             slot: entry as u32,
-        }];
+        });
         let mut visited = VisitedSet::default();
         for layer in (1..=self.node_level[entry]).rev() {
             let found = self.search_layer(query, query_weight, &entries, 1, layer, &mut visited);
             if let Some(&nearest) = found.first() {
-                entries = vec![nearest];
+                entries.clear();
+                entries.push(nearest);
             }
         }
         let ef = self
@@ -547,6 +554,7 @@ impl HnswIndex {
             if exclude_id == Some(id) {
                 continue;
             }
+            // amcad-lint: allow(alloc-in-hot-loop) — TopK's heap is pre-sized to k+1 at construction and never grows past it
             topk.push(c.dist, id);
         }
         topk.into_sorted()

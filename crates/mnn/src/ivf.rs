@@ -281,6 +281,7 @@ impl IvfIndex {
                     continue;
                 }
                 let d = self.candidates.distance_to(query, query_weight, j);
+                // amcad-lint: allow(alloc-in-hot-loop) — TopK's heap is pre-sized to k+1 at construction and never grows past it
                 topk.push(d, cand_id);
             }
         }

@@ -510,7 +510,7 @@ impl ShardedDeltaBuilder {
         let engines: Vec<Arc<RetrievalEngine>> = self
             .slots
             .iter()
-            .filter_map(|slot| slot.engine.clone())
+            .filter_map(|slot| slot.engine.as_ref().map(Arc::clone))
             .collect();
         if engines.is_empty() {
             return Err(RetrievalError::EmptyIndex { indices: "q2a+i2a" });

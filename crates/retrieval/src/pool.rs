@@ -87,6 +87,7 @@ impl WorkerPool {
                     let next = &next;
                     let f = &f;
                     scope.spawn(move |_| {
+                        // amcad-lint: allow(alloc-in-hot-loop) — one scratch Vec per worker per batch; build-phase pool, hot only via the .run(..) name collision with PersistentPool
                         let mut local = Vec::new();
                         loop {
                             // index claim only: RMW atomicity hands out each
@@ -96,6 +97,7 @@ impl WorkerPool {
                             if i >= jobs {
                                 break;
                             }
+                            // amcad-lint: allow(alloc-in-hot-loop) — push into the per-worker scratch above, amortized over the worker's share of the batch
                             local.push((i, f(i)));
                         }
                         local

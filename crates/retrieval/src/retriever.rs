@@ -249,7 +249,10 @@ impl TwoLayerRetriever {
         let per_key = self.config.ads_per_key;
         let mut fetched: FetchCache<'_> = HashMap::new();
         let mut keys: Vec<Key> = Vec::new();
-        let mut candidates: Vec<&[(u32, f64)]> = Vec::new();
+        // one posting slice per expanded key; pre-sized for the common
+        // fan-out (raw query + expansions) and reused across the batch
+        let mut candidates: Vec<&[(u32, f64)]> =
+            Vec::with_capacity(2 * (1 + self.config.expansion_per_index));
         let mut scratch: HashMap<u32, f64> = HashMap::new();
         let mut out = Vec::with_capacity(requests.len());
         for (r, request) in requests.iter().enumerate() {

@@ -160,6 +160,7 @@ impl Ticket {
     /// per-request latency from it).
     pub(crate) fn wait_full(self) -> (Result<RetrievalResponse, RetrievalError>, Instant) {
         let mut guard = lock(&self.state.outcome);
+        // amcad-lint: allow(unbounded-fanout) — condvar wait loop: bounded by ticket fulfilment (or shed); spurious wakeups re-check the outcome slot
         loop {
             if let Some(outcome) = guard.take() {
                 return outcome;
@@ -461,11 +462,20 @@ impl Drop for ServingRuntime {
 }
 
 fn worker_loop(shared: &RuntimeShared) {
-    let mut batch: Vec<QueuedRequest> = Vec::new();
+    // all dispatch-shell scratch is pre-sized to the batch cap and reused
+    // for the worker's lifetime: the steady-state loop below allocates
+    // nothing of its own — only the engine call does real work
+    let batch_cap = shared.config.batch_size.max(1);
+    let mut batch: Vec<QueuedRequest> = Vec::with_capacity(batch_cap);
+    let mut live: Vec<QueuedRequest> = Vec::with_capacity(batch_cap);
+    let mut requests: Vec<Request> = Vec::with_capacity(batch_cap);
+    let mut tickets: Vec<Arc<TicketState>> = Vec::with_capacity(batch_cap);
+    // amcad-lint: allow(unbounded-fanout) — worker lifetime loop: exits via the shutdown flag checked under the queue lock; each iteration serves one admission-bounded batch
     loop {
         batch.clear();
         {
             let mut queue = lock(&shared.queue);
+            // amcad-lint: allow(unbounded-fanout) — condvar wait loop: re-checks the queue predicate on spurious wakeups; bounded by request arrival or shutdown
             while queue.items.is_empty() {
                 if queue.shutdown {
                     return;
@@ -482,7 +492,7 @@ fn worker_loop(shared: &RuntimeShared) {
         // queued is shed — serving it would waste capacity on an answer
         // its caller has already given up on
         let now = Instant::now();
-        let mut live: Vec<QueuedRequest> = Vec::with_capacity(batch.len());
+        live.clear();
         for item in batch.drain(..) {
             if now.duration_since(item.enqueued) > shared.config.deadline {
                 shared
@@ -509,14 +519,22 @@ fn worker_loop(shared: &RuntimeShared) {
             }
             _ => {
                 // several live requests: serve through the batch path so
-                // the engine's cross-request scan dedup engages
-                let requests: Vec<Request> = live.iter().map(|item| item.request.clone()).collect();
+                // the engine's cross-request scan dedup engages. Move the
+                // requests out of the queued items (instead of cloning
+                // them) — after dispatch only the tickets are needed to
+                // fulfil, so the split is free.
+                requests.clear();
+                tickets.clear();
+                for item in live.drain(..) {
+                    requests.push(item.request);
+                    tickets.push(item.ticket);
+                }
                 let results = shared.engine.retrieve_batch(&requests);
-                debug_assert_eq!(results.len(), live.len());
-                for (item, result) in live.drain(..).zip(results) {
+                debug_assert_eq!(results.len(), tickets.len());
+                for (ticket, result) in tickets.drain(..).zip(results) {
                     // monotonic telemetry only, as above
                     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    item.ticket.fulfill(result);
+                    ticket.fulfill(result);
                 }
             }
         }

@@ -80,6 +80,7 @@ impl BatchState {
     /// A panicking job records its payload (first panic wins) and keeps
     /// the accounting intact so the submitter always unblocks.
     fn work(&self) {
+        // amcad-lint: allow(unbounded-fanout) — index-claim loop: exits once the shared counter passes `jobs`, which the submitter fixes per batch
         loop {
             // index claim only: RMW atomicity already hands out each index
             // exactly once, and the closure pointer it gates was published
@@ -115,6 +116,7 @@ impl BatchState {
     /// Block until every claimed job index has finished executing.
     fn wait(&self) {
         let mut remaining = lock(&self.remaining);
+        // amcad-lint: allow(unbounded-fanout) — condvar wait loop: bounded by the batch's job count; every finished job decrements `remaining` and the last one notifies
         while *remaining > 0 {
             remaining = self
                 .done
@@ -306,11 +308,14 @@ impl Drop for PersistentPool {
 }
 
 fn worker_loop(shared: &PoolShared) {
+    // amcad-lint: allow(unbounded-fanout) — worker lifetime loop: returns via the shutdown flag checked under the queue lock; each iteration executes one queued task
     loop {
         let task = {
             let mut queue = lock(&shared.queue);
+            // amcad-lint: allow(unbounded-fanout) — dequeue loop: breaks with a task or returns on shutdown; parks on the condvar while the queue is empty
             loop {
                 // drop exhausted batches so later tasks become visible
+                // amcad-lint: allow(unbounded-fanout) — bounded by the queue length: each iteration pops one exhausted batch
                 while matches!(queue.tasks.front(), Some(Task::Batch(b)) if b.exhausted()) {
                     queue.tasks.pop_front();
                 }

@@ -584,14 +584,19 @@ impl ReplicatedShard {
     /// over: availability beats draining. `shard` is only for the error
     /// report.
     fn pick(&self, shard: usize) -> Result<u32, RetrievalError> {
+        let n = self.slots.len();
+        // hoisted out of the retry loop: a pick that fails over reuses
+        // the replica scratch instead of reallocating it per attempt
+        let mut weights = Vec::with_capacity(n);
+        let mut healthy = Vec::with_capacity(n);
+        // amcad-lint: allow(unbounded-fanout) — failover retry loop: each retry first marks one replica down, so iterations are bounded by the replica count
         loop {
-            let n = self.slots.len();
             // round-robin ticket: RMW atomicity spreads concurrent picks;
             // which exact slot a pick lands on is not a correctness
             // property, so Relaxed
             let start = self.cursor.fetch_add(1, Ordering::Relaxed);
-            let mut weights = Vec::with_capacity(n);
-            let mut healthy = Vec::with_capacity(n);
+            weights.clear();
+            healthy.clear();
             let mut total: u64 = 0;
             let mut any_healthy = false;
             for slot in &self.slots {
@@ -762,6 +767,7 @@ impl GatherSlot {
     fn wait_for(&self, timeout: Duration) -> Option<GatherOutcome> {
         let deadline = Instant::now() + timeout;
         let mut guard = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        // amcad-lint: allow(unbounded-fanout) — condvar wait loop: bounded by the deadline (checked every wakeup) or a gather delivery
         loop {
             if guard.is_some() {
                 return guard.take();
@@ -781,6 +787,7 @@ impl GatherSlot {
     /// Block until some gather delivers.
     fn wait(&self) -> GatherOutcome {
         let mut guard = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        // amcad-lint: allow(unbounded-fanout) — condvar wait loop: bounded by gather delivery; callers only block here after at least one gather was spawned
         loop {
             if let Some(outcome) = guard.take() {
                 return outcome;
@@ -822,6 +829,7 @@ fn spawn_gather(
         }
         let lists: Vec<Vec<(u32, f64)>> = keys
             .iter()
+            // amcad-lint: allow(alloc-in-hot-loop) — the gather must own its lists: an abandoned straggler outlives every borrow of the engine's postings (see the fn doc), so copying out is the safety contract, not an oversight
             .map(|key| engine.retriever().key_candidates(key, per_key).to_vec())
             .collect();
         slot.deliver(replica, lists);
@@ -911,7 +919,8 @@ impl ShardedEngine {
             FanoutExec::Pooled(
                 topology
                     .fanout_pool
-                    .clone()
+                    .as_ref()
+                    .map(Arc::clone)
                     .unwrap_or_else(|| Arc::new(PersistentPool::new(topology.fanout_threads))),
             )
         } else {
@@ -924,7 +933,8 @@ impl ShardedEngine {
                 control: Arc::new(HedgeControl::new(delay)),
                 pool: topology
                     .fanout_pool
-                    .clone()
+                    .as_ref()
+                    .map(Arc::clone)
                     .unwrap_or_else(|| Arc::new(PersistentPool::new(2))),
             });
         ShardedEngine {
@@ -1209,6 +1219,7 @@ impl ShardedEngine {
         }
         let merged: Vec<Vec<(u32, f64)>> = (0..keys.len())
             .map(|k| {
+                // amcad-lint: allow(alloc-in-hot-loop) — each merged list is an owned per-key output collected into `merged` and borrowed by scoring below; it cannot be a reused scratch buffer
                 let mut list: Vec<(u32, f64)> = Vec::new();
                 for lists in &per_shard {
                     list.extend_from_slice(&lists[k]);
@@ -1255,8 +1266,11 @@ impl ShardedEngine {
         requests: &[Request],
     ) -> Vec<Result<RetrievalResponse, RetrievalError>> {
         let mut fetched: MergedCache = HashMap::new();
+        // per-request scratch, pre-sized for the common fan-out (raw
+        // query + expansions) and reused across the batch
         let mut keys: Vec<Key> = Vec::new();
-        let mut missing: Vec<Key> = Vec::new();
+        let mut missing: Vec<Key> =
+            Vec::with_capacity(2 * (1 + self.retrieval.expansion_per_index));
         let mut scratch = HashMap::new();
         let mut out = Vec::with_capacity(requests.len());
         for (r, request) in requests.iter().enumerate() {
