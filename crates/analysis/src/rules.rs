@@ -1,8 +1,8 @@
 //! The six token-pattern deny-by-default rules. Each is a pattern
 //! check over a [`LexedFile`]; see `src/README.md` for the contract
-//! behind each rule and the incident that motivated it. The three
+//! behind each rule and the incident that motivated it. The four
 //! structural rules (`alloc-in-hot-loop`, `guard-across-park`,
-//! `unbounded-fanout`) live in [`crate::structural`].
+//! `unbounded-fanout`, `soa-layout`) live in [`crate::structural`].
 
 use crate::lexer::{LexedFile, LineKind, Token, TokenKind};
 use std::collections::BTreeSet;
@@ -18,6 +18,7 @@ pub const RULE_NAMES: &[&str] = &[
     "alloc-in-hot-loop",
     "guard-across-park",
     "unbounded-fanout",
+    "soa-layout",
 ];
 
 /// One rule violation before waiver resolution.

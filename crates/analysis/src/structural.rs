@@ -1,7 +1,8 @@
-//! The three structural rules built on the parser + call graph:
-//! `alloc-in-hot-loop`, `guard-across-park`, `unbounded-fanout`.
-//! See `src/README.md` for each rule's contract and motivating
-//! incident; the token-pattern rules live in [`crate::rules`].
+//! The four structural rules built on the parser + call graph:
+//! `alloc-in-hot-loop`, `guard-across-park`, `unbounded-fanout`,
+//! `soa-layout`. See `src/README.md` for each rule's contract and
+//! motivating incident; the token-pattern rules live in
+//! [`crate::rules`].
 
 use crate::callgraph::CallGraph;
 use crate::parser::{CallSite, Callee, FnItem, LoopKind, Node, ParsedFile};
@@ -41,6 +42,7 @@ pub fn run_rules(
         let hot = graph.is_hot(file_idx, fn_idx);
         if hot {
             alloc_in_hot_loop(item, &mut out);
+            soa_layout(item, &mut out);
         }
         guard_across_park(item, file_idx, fn_idx, graph, &mut out);
         if fanout_scoped {
@@ -173,6 +175,68 @@ fn check_alloc_site(site: &CallSite, ctx: &mut AllocCtx<'_>) {
                 ctx.fn_name
             ),
         });
+    }
+}
+
+// ---------------------------------------------------------------- soa-layout
+
+/// Per-point AoS accessors on the mixed-curvature point sets: each call
+/// re-derives one point's slice (or weight row) from the packed storage,
+/// which defeats the contiguous SoA sweep the distance kernels are built
+/// around.
+const AOS_ACCESSORS: &[&str] = &["point", "weight"];
+
+/// **soa-layout** — inside a loop body of a hot-reachable fn, no
+/// per-point AoS accessor (`.point(i)` / `.weight(i)`): a distance loop
+/// that touches candidates one point at a time defeats the contiguous
+/// structure-of-arrays layout the kernels vectorise over. Gather the
+/// slots and evaluate through the blocked kernels
+/// (`scan_range_into` / `scan_indices_into`), the way the exact scan,
+/// the IVF probes and the HNSW beam do. Build- and insert-time loops are
+/// not hot-reachable and stay free to use the accessors.
+fn soa_layout(item: &FnItem, out: &mut Vec<RawDiagnostic>) {
+    walk_soa(&item.body, 0, &item.name, out);
+}
+
+fn walk_soa(nodes: &[Node], depth: usize, fn_name: &str, out: &mut Vec<RawDiagnostic>) {
+    const RULE: &str = "soa-layout";
+    for node in nodes {
+        match node {
+            Node::Loop(l) => {
+                let header_depth = match l.kind {
+                    LoopKind::While => depth + 1,
+                    _ => depth,
+                };
+                walk_soa(&l.header, header_depth, fn_name, out);
+                walk_soa(&l.body, depth + 1, fn_name, out);
+            }
+            Node::Closure(c) => {
+                let body_depth = if c.iter_adapter { depth + 1 } else { depth };
+                walk_soa(&c.body, body_depth, fn_name, out);
+            }
+            Node::Block { body, .. } => walk_soa(body, depth, fn_name, out),
+            Node::Let(l) => walk_soa(&l.init, depth, fn_name, out),
+            Node::Call(site) => {
+                if depth > 0 {
+                    if let Callee::Method { name, .. } = &site.callee {
+                        if AOS_ACCESSORS.contains(&name.as_str()) {
+                            out.push(RawDiagnostic {
+                                rule: RULE,
+                                line: site.line,
+                                message: format!(
+                                    "per-point accessor .{name}(..) inside a loop of hot-path \
+                                     fn `{fn_name}` — gather the slots and evaluate through the \
+                                     SoA kernels (scan_range_into / scan_indices_into) instead \
+                                     of touching points one at a time"
+                                ),
+                            });
+                        }
+                    }
+                }
+                walk_soa(&site.args, depth, fn_name, out);
+            }
+            Node::DropCall { .. } => {}
+        }
     }
 }
 

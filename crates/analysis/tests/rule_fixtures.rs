@@ -505,6 +505,98 @@ fn serve(keys: &[u32]) -> usize {
     assert!(unwaived(PLAIN_PATH, src).is_empty());
 }
 
+// ---------------------------------------------------------------- soa-layout
+
+#[test]
+fn soa_layout_fires_on_per_point_accessors_in_hot_loops() {
+    let src = r#"
+// amcad-lint: hot-path — fixture distance loop
+fn scan(set: &MixedPointSet, query: &[f64]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..set.len() {
+        let p = set.point(i);
+        let w = set.weight(i);
+        best = best.min(dist(query, p, w));
+    }
+    best
+}
+
+fn build(set: &MixedPointSet) {
+    for i in 0..set.len() {
+        index(set.point(i));
+    }
+}
+"#;
+    let hits: Vec<usize> = unwaived(PLAIN_PATH, src)
+        .into_iter()
+        .filter(|(r, _)| *r == "soa-layout")
+        .map(|(_, l)| l)
+        .collect();
+    assert_eq!(
+        hits,
+        vec![6, 7],
+        ".point(i) and .weight(i) fire inside the hot loop; the cold \
+         build fn stays free to use the accessors"
+    );
+}
+
+#[test]
+fn soa_layout_accepts_the_gathered_kernel_pattern_and_out_of_loop_accessors() {
+    let src = r#"
+// amcad-lint: hot-path — fixture distance loop
+fn scan(set: &MixedPointSet, query: &[f64], qw: &[f64], out: &mut Vec<f64>) {
+    let blocks = set.blocks();
+    let grams = blocks.query_grams(query);
+    let anchor = set.point(0);
+    let mut start = 0;
+    while start < set.len() {
+        blocks.scan_range_into(&grams, query, qw, start, out);
+        start += out.len();
+    }
+    consume(anchor);
+}
+"#;
+    assert!(
+        unwaived(PLAIN_PATH, src).is_empty(),
+        "blocked SoA sweeps and loop-external accessors pass"
+    );
+}
+
+#[test]
+fn soa_layout_propagates_through_the_call_graph_and_waives_with_reason() {
+    let src = r#"
+struct Engine;
+
+impl AnnIndex for Engine {
+    fn search(&self, set: &MixedPointSet) -> f64 {
+        helper(set)
+    }
+}
+
+fn helper(set: &MixedPointSet) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..set.len() {
+        // amcad-lint: allow(soa-layout) — fixture: one-off probe vetted by hand
+        best = best.min(peek(set.point(i)));
+        best = best.min(peek(set.weight(i)));
+    }
+    best
+}
+"#;
+    let diags = lint(PLAIN_PATH, src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "soa-layout" && d.line == 14 && d.waived),
+        "helper is hot through the AnnIndex impl, and the directive waives its line"
+    );
+    assert_eq!(
+        unwaived(PLAIN_PATH, src),
+        vec![("soa-layout", 15)],
+        "the waiver shields only its target line"
+    );
+}
+
 // ---------------------------------------------------------------- guard-across-park
 
 #[test]

@@ -6,7 +6,7 @@
 //! doubling across a ten-fold QPS increase) until the cluster nears
 //! saturation.  This binary runs the same sweep against the in-process
 //! retrieval engine with an open-loop load generator — once per ANN
-//! backend (exact scan, IVF and HNSW), all built from the same embeddings
+//! backend (exact scan, IVF, HNSW and quantised postings), all built from the same embeddings
 //! through the same `RetrievalEngine` builder, each approximate backend
 //! annotated with the recall@k of its ad-side posting lists against the
 //! exact engine's — so the recall/latency trade-off of approximate
@@ -22,7 +22,7 @@ use amcad_bench::json::{write_bench_json, Json};
 use amcad_bench::Scale;
 use amcad_core::{build_index_inputs, Pipeline, PipelineConfig};
 use amcad_eval::TextTable;
-use amcad_mnn::{HnswConfig, IndexBackend, IvfConfig};
+use amcad_mnn::{HnswConfig, IndexBackend, IvfConfig, QuantConfig};
 use amcad_retrieval::{
     EngineHandle, LoadReport, Request, RetrievalEngine, RuntimeConfig, Scenario, ServingConfig,
     ServingRuntime, ServingSimulator, ShardedEngine, TrafficPattern,
@@ -123,6 +123,7 @@ fn main() {
         IndexBackend::Exact,
         IndexBackend::Ivf(IvfConfig::default()),
         IndexBackend::Hnsw(HnswConfig::default()),
+        IndexBackend::Quant(QuantConfig::default()),
     ];
     let qps_levels = [
         1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0,

@@ -8,12 +8,14 @@
 //! iterations is proportional to the number of sessions (≈ one pass over
 //! the data), so runtime should grow roughly linearly with graph size.
 //! The offline stage the paper distributes over MNN workers — inverted
-//! index construction — is timed per backend (exact scan vs IVF vs HNSW)
-//! through the same `IndexSet::build` API, showing where approximate
-//! indexing starts paying off as the candidate sets grow; a backend ×
-//! `ef_search` sweep then puts each approximate backend's recall@k
+//! index construction — is timed per backend (exact scan vs IVF vs HNSW vs
+//! quantised postings) through the same `IndexSet::build` API, showing
+//! where approximate indexing starts paying off as the candidate sets
+//! grow; a backend × knob sweep (`ef_search` for HNSW, `rerank_k` for the
+//! quantised backend) then puts each approximate backend's recall@k
 //! against exact next to its build time and serving tail latency — the
-//! recall/latency frontier in one table.
+//! recall/latency frontier in one table — and a memory-footprint section
+//! reports the quantised bytes/ad against the full-precision layout.
 //!
 //! The second half models the paper's *cluster* dimension along its three
 //! axes: the largest rung's inputs are rebuilt as a `ShardedEngine` at
@@ -36,7 +38,7 @@ use amcad_bench::Scale;
 use amcad_core::build_index_inputs;
 use amcad_datagen::{Dataset, WorldConfig};
 use amcad_eval::TextTable;
-use amcad_mnn::{HnswConfig, IndexBackend, IvfConfig};
+use amcad_mnn::{HnswConfig, IndexBackend, IvfConfig, QuantConfig, QuantIndex};
 use amcad_model::{AmcadConfig, AmcadModel, Trainer, TrainerConfig};
 use amcad_retrieval::{
     EngineHandle, IndexBuildConfig, IndexBuildInputs, IndexDelta, IndexSet, Request,
@@ -74,6 +76,7 @@ fn main() {
         "Index exact (s)",
         "Index IVF (s)",
         "Index HNSW (s)",
+        "Index Quant (s)",
     ]);
     let mut prev: Option<(usize, f64)> = None;
     let mut largest_rung: Option<(Dataset, IndexBuildInputs)> = None;
@@ -115,6 +118,7 @@ fn main() {
         let exact_secs = time_build(IndexBackend::Exact);
         let ivf_secs = time_build(IndexBackend::Ivf(IvfConfig::default()));
         let hnsw_secs = time_build(IndexBackend::Hnsw(HnswConfig::default()));
+        let quant_secs = time_build(IndexBackend::Quant(QuantConfig::default()));
 
         table.row(vec![
             label.to_string(),
@@ -126,6 +130,7 @@ fn main() {
             format!("{exact_secs:.2}"),
             format!("{ivf_secs:.2}"),
             format!("{hnsw_secs:.2}"),
+            format!("{quant_secs:.2}"),
         ]);
         ladder_json.push(Json::obj(vec![
             ("logs", Json::from(label)),
@@ -140,6 +145,7 @@ fn main() {
             ("index_exact_s", Json::from(exact_secs)),
             ("index_ivf_s", Json::from(ivf_secs)),
             ("index_hnsw_s", Json::from(hnsw_secs)),
+            ("index_quant_s", Json::from(quant_secs)),
         ]));
         if let Some((prev_edges, prev_secs)) = prev {
             eprintln!(
@@ -170,14 +176,15 @@ fn main() {
     };
     let qps = 20_000.0;
 
-    // -- Backend × ef_search: the recall/latency frontier -----------------
+    // -- Backend × knob: the recall/latency frontier ----------------------
     // The approximate backends trade posting-list recall for build work:
     // IVF probes nprobe clusters per key, HNSW walks an ef_search-wide
-    // graph beam. Both knobs act at *index-build* time (posting lists are
-    // static at serving time), so the frontier pairs each configuration's
-    // build wall clock and ad-side recall@k against the exact reference
-    // with the serving tail it produces.
-    println!("== Backend x ef_search recall/latency frontier (largest rung) ==\n");
+    // graph beam, and the quantised backend reranks the top `rerank_k`
+    // PQ-approximate candidates exactly. All knobs act at *index-build*
+    // time (posting lists are static at serving time), so the frontier
+    // pairs each configuration's build wall clock and ad-side recall@k
+    // against the exact reference with the serving tail it produces.
+    println!("== Backend x knob recall/latency frontier (largest rung) ==\n");
     let top_k = 20usize;
     let widest_knob = "ef=128";
     let frontier_backends: Vec<(&'static str, IndexBackend)> = vec![
@@ -195,6 +202,16 @@ fn main() {
             widest_knob,
             IndexBackend::Hnsw(HnswConfig::default().with_ef_search(128)),
         ),
+        (
+            "rerank=16",
+            IndexBackend::Quant(QuantConfig {
+                ksub: 16,
+                train_iters: 8,
+                rerank_k: 16,
+                seed: 13,
+            }),
+        ),
+        ("rerank=48", IndexBackend::Quant(QuantConfig::default())),
     ];
     let mut frontier = TextTable::new(vec![
         "Backend",
@@ -652,6 +669,40 @@ fn main() {
     println!("neighbour build, so the restored process resumes at the saved generation and");
     println!("catches up on newer deltas through the ordinary publish path.\n");
 
+    // -- Ad-side memory footprint: quantised vs full-precision ------------
+    // The quantised-postings subsystem keeps one u8 code plus one f32
+    // weight per manifold component per ad instead of f64 coordinates —
+    // the memory term that decides how many ads fit a serving replica.
+    // The ratio is a structural property of the layout (not a sampled
+    // timing), so the CI gate can pin it exactly.
+    println!("== Ad-side memory footprint: quantised vs full-precision (largest rung) ==\n");
+    let quant_index = QuantIndex::build(inputs.ads_qa.clone(), QuantConfig::default());
+    let quantised_bpa = quant_index.quantised_bytes_per_ad();
+    let full_bpa = quant_index.full_precision_bytes_per_ad();
+    let ratio = full_bpa as f64 / quantised_bpa.max(1) as f64;
+    let mut footprint = TextTable::new(vec![
+        "Ads",
+        "Quantised (B/ad)",
+        "Full precision (B/ad)",
+        "Ratio",
+    ]);
+    footprint.row(vec![
+        inputs.ads_qa.len().to_string(),
+        quantised_bpa.to_string(),
+        full_bpa.to_string(),
+        format!("{ratio:.1}x"),
+    ]);
+    println!("{}", footprint.render());
+    assert!(
+        ratio >= 4.0,
+        "quantised codes must be at least 4x smaller than full-precision \
+         coordinates, got {ratio:.2}x ({quantised_bpa} vs {full_bpa} bytes/ad)"
+    );
+    println!("Footprint note: codes replace the per-ad coordinates in the approximate scan;");
+    println!("the exact rerank touches full-precision points for only rerank_k candidates");
+    println!("per query, so the working set shrinks by the ratio above while served");
+    println!("rankings stay pinned to the exact backend by the corpus-wide-rerank tests.\n");
+
     let json_path = write_bench_json(
         "table9",
         &Json::obj(vec![
@@ -664,6 +715,15 @@ fn main() {
             ("runtime_ladder", Json::Arr(runtime_json)),
             ("delta_vs_rebuild", Json::Arr(delta_json)),
             ("warm_restart", Json::Arr(restart_json)),
+            (
+                "memory_footprint",
+                Json::obj(vec![
+                    ("ads", Json::from(inputs.ads_qa.len())),
+                    ("quantised_bytes_per_ad", Json::from(quantised_bpa)),
+                    ("full_precision_bytes_per_ad", Json::from(full_bpa)),
+                    ("ratio", Json::from(ratio)),
+                ]),
+            ),
         ]),
     )
     .expect("the bench artefact writes");

@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+pub mod gate;
 pub mod json;
 
 use amcad_core::{evaluate_offline, EvalConfig, OfflineMetrics};

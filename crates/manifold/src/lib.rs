@@ -29,8 +29,8 @@ pub mod scalar;
 pub mod space;
 
 pub use ops::{
-    distance, exp_map, exp_map_origin, kappa_activation, kappa_matmul, lambda_x, log_map,
-    log_map_origin, mobius_add, mobius_neg, project_to_ball,
+    distance, distance_gram, exp_map, exp_map_origin, kappa_activation, kappa_matmul, lambda_x,
+    log_map, log_map_origin, mobius_add, mobius_neg, project_to_ball,
 };
 pub use product::{ProductManifold, ProductPoint, SubspaceSpec};
 pub use scalar::{atan_kappa, cos_kappa, sin_kappa, tan_kappa, KAPPA_EPS};

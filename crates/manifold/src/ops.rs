@@ -130,6 +130,48 @@ pub fn distance(x: &[f64], y: &[f64], kappa: f64) -> f64 {
     2.0 * atan_kappa(norm(&w), kappa)
 }
 
+/// Geodesic distance from the Gram quantities `x2 = ‖x‖²`, `y2 = ‖y‖²`
+/// and `xy = ⟨x, y⟩` alone — the allocation-free form of [`distance`]
+/// the SoA scan kernels in `amcad-mnn` evaluate per candidate.
+///
+/// Expanding `w = (-x) ⊕_κ y` (see [`mobius_add`]) coordinate-free with
+/// `num_x = 1 + 2κ·xy − κ·y2` (the −x flips the sign of xy) and
+/// `num_y = 1 + κ·x2` gives
+/// `‖w‖² = (num_x²·x2 − 2·num_x·num_y·xy + num_y²·y2) / denom²` —
+/// but that expansion cancels catastrophically near `x == y` (the terms
+/// are O(1) while the result is O(‖x−y‖²)), inflating self-distances to
+/// ~1e-8. Substituting `num_x = num_y − κ·dd` with `dd = ‖x−y‖²` factors
+/// the numerator exactly:
+///
+/// ```text
+/// dd    = x2 − 2·xy + y2            (‖x − y‖² in Gram form)
+/// xd    = x2 − xy                   (⟨x, x − y⟩)
+/// denom = 1 + 2κ·xy + κ²·x2·y2      (clamped away from 0 like mobius_add)
+/// ‖w‖²  = dd · (num_y² − 2κ·num_y·xd + κ²·dd·x2) / denom²
+/// ```
+///
+/// so the distance needs only three dot products over the operands —
+/// `x2`/`y2` can be precomputed once per stored point — and identical
+/// Gram inputs (`x2 == xy == y2` bitwise) make `dd` and the distance
+/// *exactly* zero: `x2 − 2·xy` and the final `+ y2` both round exactly.
+/// Squared norms are clamped at 0 before the square root (the bracket
+/// can round a tiny-but-true-zero norm negative).
+#[inline]
+pub fn distance_gram(x2: f64, y2: f64, xy: f64, kappa: f64) -> f64 {
+    let dd = x2 - 2.0 * xy + y2;
+    let xd = x2 - xy;
+    let num_y = 1.0 + kappa * x2;
+    let denom = 1.0 + 2.0 * kappa * xy + kappa * kappa * x2 * y2;
+    let denom = if denom.abs() < MIN_NORM {
+        MIN_NORM.copysign(denom)
+    } else {
+        denom
+    };
+    let w_sq =
+        dd * (num_y * num_y - 2.0 * kappa * num_y * xd + kappa * kappa * dd * x2) / (denom * denom);
+    2.0 * atan_kappa(w_sq.max(0.0).sqrt(), kappa)
+}
+
 /// κ-matrix multiplication `M ⊗_κ x = exp^κ_0(M · log^κ_0(x))` (Table II).
 ///
 /// `mat` is row-major with `rows × cols` entries, `cols == x.len()`.
@@ -230,6 +272,45 @@ mod tests {
             assert!((dxy - dyx).abs() < 1e-10);
             assert!(distance(&x, &x, kappa).abs() < 1e-10);
             assert!(dxy > 0.0);
+        }
+    }
+
+    #[test]
+    fn distance_gram_matches_the_vector_form_across_curvatures() {
+        let xs = [
+            vec![0.2, -0.1, 0.4],
+            vec![0.0, 0.0, 0.0],
+            vec![0.31, 0.17, -0.05],
+        ];
+        let ys = [
+            vec![-0.15, 0.3, 0.1],
+            vec![0.2, -0.1, 0.4],
+            vec![0.0, 0.0, 0.0],
+        ];
+        for x in &xs {
+            for y in &ys {
+                for &kappa in &[-1.5, -1.0, -0.3, 0.0, 0.3, 1.0, 1.5] {
+                    let reference = distance(x, y, kappa);
+                    let gram = distance_gram(norm_sq(x), norm_sq(y), dot(x, y), kappa);
+                    assert!(
+                        (reference - gram).abs() < 1e-10,
+                        "kappa={kappa} x={x:?} y={y:?}: {reference} vs {gram}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_gram_is_exactly_zero_on_identical_points() {
+        // identical points present identical Gram quantities (x2 == y2 == xy);
+        // the factored form makes dd — and so the distance — exactly zero,
+        // which downstream self-distance asserts (nearest neighbour of a key
+        // present in the candidates is itself, at < 1e-9) rely on
+        for &kappa in &[-2.0, -1.0, 0.0, 1.0, 2.0] {
+            for &t in &[0.0, 1e-12, 0.04, 0.21, 0.73] {
+                assert_eq!(distance_gram(t, t, t, kappa), 0.0, "kappa={kappa} t={t}");
+            }
         }
     }
 

@@ -15,6 +15,7 @@ use crate::brute::{build_exact_index, InvertedIndex, Postings};
 use crate::hnsw::{HnswConfig, HnswIndex, HnswState};
 use crate::ivf::{IvfConfig, IvfIndex, IvfState};
 use crate::points::MixedPointSet;
+use crate::quant::{QuantBackend, QuantConfig, QuantIndex, QuantState};
 
 /// A searchable index over one candidate point set.
 ///
@@ -286,6 +287,9 @@ pub enum IndexBackend {
     /// Approximate hierarchical navigable-small-world graph search with
     /// the given configuration — the natively incremental backend.
     Hnsw(HnswConfig),
+    /// Quantised postings: per-component sub-codebooks, asymmetric table
+    /// scan and exact top-`rerank_k` rerank — the memory backend.
+    Quant(QuantConfig),
 }
 
 impl IndexBackend {
@@ -295,6 +299,7 @@ impl IndexBackend {
             IndexBackend::Exact => "exact",
             IndexBackend::Ivf(_) => "ivf",
             IndexBackend::Hnsw(_) => "hnsw",
+            IndexBackend::Quant(_) => "quant",
         }
     }
 
@@ -306,6 +311,7 @@ impl IndexBackend {
             IndexBackend::Exact => Box::new(ExactBackend::new(candidates, threads)),
             IndexBackend::Ivf(config) => Box::new(IvfBackend::new(candidates, config)),
             IndexBackend::Hnsw(config) => Box::new(HnswBackend::new(candidates, config)),
+            IndexBackend::Quant(config) => Box::new(QuantBackend::new(candidates, config)),
         }
     }
 
@@ -357,6 +363,8 @@ pub enum AnnBackendState {
     Ivf(IvfState),
     /// HNSW: candidates, graph and level-sampling RNG state.
     Hnsw(HnswState),
+    /// Quant: candidates plus the frozen sub-codebooks and code lanes.
+    Quant(QuantState),
 }
 
 impl AnnBackendState {
@@ -366,6 +374,7 @@ impl AnnBackendState {
             AnnBackendState::Exact { .. } => "exact",
             AnnBackendState::Ivf(_) => "ivf",
             AnnBackendState::Hnsw(_) => "hnsw",
+            AnnBackendState::Quant(_) => "quant",
         }
     }
 
@@ -384,6 +393,9 @@ impl AnnBackendState {
             }
             AnnBackendState::Hnsw(state) => {
                 Box::new(HnswBackend::from_index(HnswIndex::from_state(state)))
+            }
+            AnnBackendState::Quant(state) => {
+                Box::new(QuantBackend::from_index(QuantIndex::from_state(state)))
             }
         }
     }
@@ -436,11 +448,15 @@ mod tests {
         assert_eq!(ivf.backend_name(), "ivf");
         assert_eq!(ivf.len(), 30);
         assert!(!ivf.is_empty());
-        let hnsw = IndexBackend::Hnsw(HnswConfig::default()).instantiate(cands, 1);
+        let hnsw = IndexBackend::Hnsw(HnswConfig::default()).instantiate(cands.clone(), 1);
         assert_eq!(hnsw.backend_name(), "hnsw");
         assert_eq!(hnsw.len(), 30);
+        let quant = IndexBackend::Quant(QuantConfig::default()).instantiate(cands, 1);
+        assert_eq!(quant.backend_name(), "quant");
+        assert_eq!(quant.len(), 30);
         assert_eq!(IndexBackend::default(), IndexBackend::Exact);
         assert_eq!(IndexBackend::Hnsw(HnswConfig::default()).label(), "hnsw");
+        assert_eq!(IndexBackend::Quant(QuantConfig::default()).label(), "quant");
     }
 
     #[test]
@@ -451,6 +467,7 @@ mod tests {
             IndexBackend::Exact,
             IndexBackend::Ivf(IvfConfig::default()),
             IndexBackend::Hnsw(HnswConfig::default()),
+            IndexBackend::Quant(QuantConfig::default()),
         ] {
             let direct = backend.build_index(&keys, &cands, 5, false, 2);
             let via_trait = backend
@@ -512,7 +529,7 @@ mod tests {
         // graph through the bulk-build code path, so inserted candidates
         // are recalled exactly like rebuilt ones
         let saturated = IndexBackend::Hnsw(HnswConfig::saturated(union.len()));
-        let mut hnsw = saturated.instantiate(base, 1);
+        let mut hnsw = saturated.instantiate(base.clone(), 1);
         assert!(hnsw.insert(&increment), "HNSW supports native inserts");
         assert_eq!(hnsw.len(), union.len());
         for i in 0..keys.len() {
@@ -520,6 +537,26 @@ mod tests {
                 hnsw.search(keys.point(i), keys.weight(i), 6, None),
                 rebuilt.search(keys.point(i), keys.weight(i), 6, None),
                 "saturated HNSW inserts must recall exactly"
+            );
+        }
+
+        // Quant under a corpus-wide rerank: the frozen codebooks only
+        // steer the approximate pool, and the pool is everything, so the
+        // exact rerank makes streamed inserts bit-identical to a rebuild
+        let corpus_wide = IndexBackend::Quant(QuantConfig {
+            ksub: 8,
+            train_iters: 4,
+            rerank_k: union.len(),
+            seed: 8,
+        });
+        let mut quant = corpus_wide.instantiate(base, 1);
+        assert!(quant.insert(&increment), "quant supports inserts");
+        assert_eq!(quant.len(), union.len());
+        for i in 0..keys.len() {
+            assert_eq!(
+                quant.search(keys.point(i), keys.weight(i), 6, None),
+                rebuilt.search(keys.point(i), keys.weight(i), 6, None),
+                "corpus-wide-rerank quant inserts must recall exactly"
             );
         }
     }
@@ -550,6 +587,12 @@ mod tests {
                 ef_search: 12,
                 seed: 9,
             }),
+            IndexBackend::Quant(QuantConfig {
+                ksub: 8,
+                train_iters: 4,
+                rerank_k: 10, // partial rerank: the code lanes must survive
+                seed: 10,
+            }),
         ];
         for config in backends {
             let mut live = config.instantiate(base.clone(), 2);
@@ -557,6 +600,7 @@ mod tests {
                 (IndexBackend::Exact, _) => ExactBackend::new(base.clone(), 2).export_state(),
                 (IndexBackend::Ivf(c), _) => IvfBackend::new(base.clone(), *c).export_state(),
                 (IndexBackend::Hnsw(c), _) => HnswBackend::new(base.clone(), *c).export_state(),
+                (IndexBackend::Quant(c), _) => QuantBackend::new(base.clone(), *c).export_state(),
             };
             assert_eq!(state.label(), config.label());
             let mut revived = state.instantiate();
@@ -591,6 +635,7 @@ mod tests {
             IndexBackend::Exact.instantiate(empty.clone(), 1),
             IndexBackend::Ivf(IvfConfig::default()).instantiate(empty.clone(), 1),
             IndexBackend::Hnsw(HnswConfig::default()).instantiate(empty.clone(), 1),
+            IndexBackend::Quant(QuantConfig::default()).instantiate(empty.clone(), 1),
         ] {
             assert!(backend.is_empty());
             assert!(backend.search(&[0.0, 0.0], &[1.0], 3, None).is_empty());

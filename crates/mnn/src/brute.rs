@@ -126,9 +126,18 @@ pub(crate) fn build_index_with(
     index
 }
 
+/// Candidates evaluated per chunk of the exact scan: small enough that a
+/// chunk's distance lane lives on the stack, large enough that the
+/// component-outer SoA loops amortise their setup. Shared with the
+/// quantised backend's table scan.
+pub(crate) const SCAN_CHUNK: usize = 128;
+
 /// One exact top-K scan of a query point over a candidate set — the
 /// kernel shared by the bulk builder below and the per-query
-/// `ExactBackend::search` path, so the two can never diverge.
+/// `ExactBackend::search` path, so the two can never diverge. The scan
+/// walks the SoA component blocks in fixed-size chunks with the query's
+/// Gram context and the distance lane hoisted out of the loop, so the
+/// inner loops are allocation-free unit-stride dot products.
 pub(crate) fn scan_top_k(
     candidates: &MixedPointSet,
     query: &[f64],
@@ -136,14 +145,24 @@ pub(crate) fn scan_top_k(
     k: usize,
     exclude_id: Option<u32>,
 ) -> Postings {
+    let blocks = candidates.blocks();
+    let grams = blocks.query_grams(query);
+    let mut distances = [0.0f64; SCAN_CHUNK];
     let mut topk = TopK::new(k);
-    for j in 0..candidates.len() {
-        let cand_id = candidates.id(j);
-        if exclude_id == Some(cand_id) {
-            continue;
+    let n = candidates.len();
+    let mut start = 0;
+    while start < n {
+        let len = SCAN_CHUNK.min(n - start);
+        blocks.scan_range_into(&grams, query, query_weight, start, &mut distances[..len]);
+        for (jj, &d) in distances[..len].iter().enumerate() {
+            let cand_id = candidates.id(start + jj);
+            if exclude_id == Some(cand_id) {
+                continue;
+            }
+            // amcad-lint: allow(alloc-in-hot-loop) — TopK's heap is pre-sized to k+1 at construction and never grows past it
+            topk.push(d, cand_id);
         }
-        // amcad-lint: allow(alloc-in-hot-loop) — TopK's heap is pre-sized to k+1 at construction and never grows past it
-        topk.push(candidates.distance_to(query, query_weight, j), cand_id);
+        start += len;
     }
     topk.into_sorted()
 }

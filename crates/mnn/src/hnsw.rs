@@ -361,6 +361,12 @@ impl HnswIndex {
     /// The beam search of one layer: explore from `entries`, keeping the
     /// `ef` best `(distance, slot)` pairs seen. Returns them sorted
     /// ascending. `visited` is a reusable scratch bitmap.
+    ///
+    /// Each hop evaluates the popped node's unvisited neighbours as one
+    /// gathered SoA sweep (`ComponentBlocks::scan_indices_into`) against
+    /// the query's hoisted Gram context — bit-identical to per-neighbour
+    /// scattered calls, but the inner distance loops run unit-stride over
+    /// the coordinate blocks.
     fn search_layer(
         &self,
         query: &[f64],
@@ -372,6 +378,13 @@ impl HnswIndex {
     ) -> Vec<DistSlot> {
         let ef = ef.max(1);
         visited.begin(self.candidates.len());
+        let blocks = self.candidates.blocks();
+        let grams = blocks.query_grams(query);
+        // hoisted per-call scratch: one slot batch and one distance lane,
+        // both bounded by the layer's neighbour-list cap
+        let widest = self.layer_cap(layer);
+        let mut batch: Vec<usize> = Vec::with_capacity(widest);
+        let mut lane: Vec<f64> = Vec::with_capacity(widest);
         // `best` is hard-bounded by ef (+1 transiently); `frontier`
         // usually stays near ef too — pre-size both so the search loop
         // allocates only when the expansion genuinely outgrows ef
@@ -394,13 +407,24 @@ impl HnswIndex {
                     break; // every remaining frontier entry is farther still
                 }
             }
+            batch.clear();
             for &nb in &self.links[current.slot as usize][layer] {
                 if visited.visit(nb) {
                     continue;
                 }
+                // amcad-lint: allow(alloc-in-hot-loop) — batch is pre-sized to the layer cap, which bounds every neighbour list
+                batch.push(nb as usize);
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            lane.resize(batch.len(), 0.0);
+            blocks.scan_indices_into(&grams, query, query_weight, &batch, &mut lane);
+            for (jj, &nb) in batch.iter().enumerate() {
+                let d = lane[jj];
                 let node = DistSlot {
-                    dist: self.slot_distance(query, query_weight, nb as usize),
-                    slot: nb,
+                    dist: if d.is_nan() { f64::INFINITY } else { d },
+                    slot: nb as u32,
                 };
                 if best.len() < ef {
                     best.push(node);

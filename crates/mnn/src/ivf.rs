@@ -273,16 +273,28 @@ impl IvfIndex {
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0));
 
+        // hoisted per-query scratch: the query's component norms and one
+        // distance lane per probed cluster, reused across clusters so the
+        // gathered SoA sweep below allocates nothing inside the probe loop
+        let blocks = self.candidates.blocks();
+        let grams = blocks.query_grams(query);
+        let widest = self.clusters.iter().map(Vec::len).max().unwrap_or(0);
+        let mut distances: Vec<f64> = Vec::with_capacity(widest);
         let mut topk = TopK::new(k);
         for &(_, c) in order.iter().take(self.config.nprobe.max(1)) {
-            for &j in &self.clusters[c] {
+            let members = &self.clusters[c];
+            if members.is_empty() {
+                continue;
+            }
+            distances.resize(members.len(), 0.0);
+            blocks.scan_indices_into(&grams, query, query_weight, members, &mut distances);
+            for (jj, &j) in members.iter().enumerate() {
                 let cand_id = self.candidates.id(j);
                 if exclude_id == Some(cand_id) {
                     continue;
                 }
-                let d = self.candidates.distance_to(query, query_weight, j);
                 // amcad-lint: allow(alloc-in-hot-loop) — TopK's heap is pre-sized to k+1 at construction and never grows past it
-                topk.push(d, cand_id);
+                topk.push(distances[jj], cand_id);
             }
         }
         topk.into_sorted()

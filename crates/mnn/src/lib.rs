@@ -18,8 +18,13 @@
 //!   graph over the mixed-curvature metric itself: sub-linear search with a
 //!   tunable beam (`ef_search`), and the one backend whose incremental
 //!   `insert` is literally its construction path,
+//! * [`QuantBackend`] / [`QuantIndex`] — quantised postings: per-component
+//!   product-quantisation sub-codebooks trained in tangent space, one-byte
+//!   codes scanned through a per-query asymmetric distance table over the
+//!   mixed-curvature geodesic, and an exact top-`rerank_k` rerank,
 //! * [`IndexBackend`] — the configuration enum downstream code uses to
-//!   select a backend (`Exact`, `Ivf(IvfConfig)` or `Hnsw(HnswConfig)`).
+//!   select a backend (`Exact`, `Ivf(IvfConfig)`, `Hnsw(HnswConfig)` or
+//!   `Quant(QuantConfig)`).
 //!
 //! ## Choosing a backend
 //!
@@ -28,24 +33,33 @@
 //! | `Exact` | O(n) per query, threaded bulk builds | 1.0 by definition | `threads` | append + rescan (trivially exact) |
 //! | `Ivf` | O(n/clusters × nprobe) | high, tunable | `num_clusters`, `nprobe` | nearest-centroid assignment (quantisation frozen) |
 //! | `Hnsw` | ~O(log n) greedy + `ef_search` beam | high, tunable | `m`, `ef_construction`, `ef_search` | native — insertion *is* construction |
+//! | `Quant` | O(n) table lookups + `rerank_k` exact distances | high, tunable | `ksub`, `rerank_k` | nearest-sub-centroid encoding (codebooks frozen) |
 //!
-//! Both approximate backends have a saturation point at which they become
-//! exhaustive and bit-identical to the exact scan: probing every IVF
-//! cluster (`nprobe == num_clusters`), or an HNSW beam and degree at the
-//! corpus size ([`HnswConfig::saturated`]). The parity suites in
-//! `tests/backend_parity.rs` pin both.
+//! The approximate backends each have a saturation point at which they
+//! become exhaustive and bit-identical to the exact scan: probing every IVF
+//! cluster (`nprobe == num_clusters`), an HNSW beam and degree at the
+//! corpus size ([`HnswConfig::saturated`]), or a corpus-wide quantised
+//! rerank (`rerank_k >= n`). The parity suites in
+//! `tests/backend_parity.rs` pin all three.
+//!
+//! `Quant` is also the memory backend: postings cost one `u8` code plus one
+//! `f32` weight per curvature component per ad, against a full-precision
+//! point's `8 × total_dim + 8 × components` bytes — the bench harness
+//! reports the measured ratio in its `memory_footprint` section.
 
 pub mod backend;
 pub mod brute;
 pub mod hnsw;
 pub mod ivf;
 pub mod points;
+pub mod quant;
 
 pub use backend::{AnnBackendState, AnnIndex, ExactBackend, HnswBackend, IndexBackend, IvfBackend};
 pub use brute::{build_exact_index, InvertedIndex, Postings};
 pub use hnsw::{HnswConfig, HnswIndex, HnswState};
 pub use ivf::{recall_at_k, IvfConfig, IvfIndex, IvfState};
 pub use points::MixedPointSet;
+pub use quant::{QuantBackend, QuantConfig, QuantIndex, QuantState};
 
 /// Shared fixture for this crate's unit-test modules: `n` random points
 /// on one hyperbolic x spherical product manifold. (The integration test

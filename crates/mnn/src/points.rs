@@ -1,15 +1,21 @@
 //! Storage for mixed-curvature points with precomputed attention weights.
 //!
-//! The MNN index builder works on flat, cache-friendly buffers: all points
-//! of one edge space are stored contiguously (`n × total_dim`) together with
-//! their per-subspace attention weights (`n × M`).  The inner distance loop
-//! is written over slices so the compiler can auto-vectorise it — the
-//! stand-in for the SIMD instruction-level parallelism of the paper's MNN
-//! workers.
+//! Points are kept in two synchronised layouts. The AoS buffer (`n ×
+//! total_dim`) backs the slice accessors ([`MixedPointSet::point`]) that
+//! construction, serialisation and the tangent-space quantisers consume.
+//! The scan paths — the exact scan, IVF probes, the HNSW beam and the
+//! quantised-postings rerank — instead go through a structure-of-arrays
+//! mirror ([`ComponentBlocks`]): per-curvature-component fixed-stride
+//! coordinate blocks with precomputed squared norms, so every distance is
+//! an allocation-free Gram-form evaluation over unit-stride dot products
+//! ([`amcad_manifold::distance_gram`]) — the stand-in for the SIMD
+//! instruction-level parallelism of the paper's MNN workers.
 
 use std::collections::HashMap;
 
 use amcad_manifold::ProductManifold;
+
+use crate::quant::soa::ComponentBlocks;
 
 /// A set of points of one mixed-curvature (edge) space, with per-point
 /// attention weights.
@@ -26,23 +32,34 @@ pub struct MixedPointSet {
     points: Vec<f64>,
     weights: Vec<f64>,
     by_id: HashMap<u32, usize>,
+    blocks: ComponentBlocks,
 }
 
 impl MixedPointSet {
     /// Create an empty set over the given manifold.
     pub fn new(manifold: ProductManifold) -> Self {
+        let blocks = ComponentBlocks::new(&manifold);
         MixedPointSet {
             manifold,
             ids: Vec::new(),
             points: Vec::new(),
             weights: Vec::new(),
             by_id: HashMap::new(),
+            blocks,
         }
     }
 
     /// The manifold of this point set.
     pub fn manifold(&self) -> &ProductManifold {
         &self.manifold
+    }
+
+    /// The SoA scan mirror: per-component coordinate blocks, precomputed
+    /// squared norms and weight lanes. The backends' chunked and gathered
+    /// distance sweeps run over these.
+    #[inline]
+    pub fn blocks(&self) -> &ComponentBlocks {
+        &self.blocks
     }
 
     /// Number of points.
@@ -72,6 +89,7 @@ impl MixedPointSet {
         self.ids.push(id);
         self.points.extend_from_slice(point);
         self.weights.extend_from_slice(weight);
+        self.blocks.push(point, weight);
     }
 
     /// External id of the `i`-th point.
@@ -171,6 +189,15 @@ impl MixedPointSet {
         for (i, &id) in self.ids.iter().enumerate() {
             self.by_id.entry(id).or_insert(i);
         }
+        // rebuild the SoA mirror from the compacted AoS buffers: the norms
+        // are recomputed from bit-identical coordinates, so they land on
+        // the same bits the survivors already had
+        self.blocks.clear();
+        for i in 0..write {
+            let point = &self.points[i * d..(i + 1) * d];
+            let weight = &self.weights[i * m..(i + 1) * m];
+            self.blocks.push(point, weight);
+        }
         n - write
     }
 
@@ -217,29 +244,22 @@ impl MixedPointSet {
     }
 
     /// Attention-weighted mixed-curvature distance between point `i` of this
-    /// set and point `j` of `other` (both sets must share the manifold).
+    /// set and point `j` of `other` (both sets must share the manifold) —
+    /// an allocation-free Gram-form evaluation over the SoA blocks with
+    /// both squared norms precomputed.
     #[inline]
     pub fn distance_between(&self, i: usize, other: &MixedPointSet, j: usize) -> f64 {
         debug_assert_eq!(self.manifold.total_dim(), other.manifold.total_dim());
-        let w: Vec<f64> = self
-            .weight(i)
-            .iter()
-            .zip(other.weight(j))
-            .map(|(a, b)| a + b)
-            .collect();
-        self.manifold
-            .weighted_distance(self.point(i), other.point(j), &w)
+        self.blocks.distance_between(i, &other.blocks, j)
     }
 
-    /// Distance of an external query point (with weights) to point `j`.
+    /// Distance of an external query point (with weights) to point `j` —
+    /// one scattered allocation-free evaluation over the SoA blocks (the
+    /// shape the HNSW beam uses; bulk scans go through
+    /// [`MixedPointSet::blocks`]' chunked kernels).
     #[inline]
     pub fn distance_to(&self, query: &[f64], query_weight: &[f64], j: usize) -> f64 {
-        let w: Vec<f64> = query_weight
-            .iter()
-            .zip(self.weight(j))
-            .map(|(a, b)| a + b)
-            .collect();
-        self.manifold.weighted_distance(query, self.point(j), &w)
+        self.blocks.distance_to(query, query_weight, j)
     }
 }
 
@@ -419,5 +439,64 @@ mod tests {
         let w = set.weight(1).to_vec();
         let d = set.distance_to(&q, &w, 0);
         assert!((d - set.distance_between(1, &set, 0)).abs() < 1e-12);
+    }
+
+    /// The Gram-form SoA kernel and the reference manifold path compute
+    /// the same weighted distances (up to ulp-level rounding — they take
+    /// different but algebraically equal routes to `‖-x ⊕_κ y‖`).
+    #[test]
+    fn gram_form_distances_match_the_manifold_reference() {
+        let set = sample_set();
+        for i in 0..set.len() {
+            for j in 0..set.len() {
+                let w: Vec<f64> = set
+                    .weight(i)
+                    .iter()
+                    .zip(set.weight(j))
+                    .map(|(a, b)| a + b)
+                    .collect();
+                let reference = set
+                    .manifold()
+                    .weighted_distance(set.point(i), set.point(j), &w);
+                let fast = set.distance_between(i, &set, j);
+                assert!(
+                    (fast - reference).abs() < 1e-10,
+                    "({i},{j}): {fast} vs {reference}"
+                );
+            }
+        }
+    }
+
+    /// The SoA mirror must track the AoS buffers bit-for-bit through every
+    /// reshaping operation (push, append, retire, partition, filter).
+    fn assert_blocks_consistent(set: &MixedPointSet) {
+        let blocks = set.blocks();
+        assert_eq!(blocks.len(), set.len());
+        for i in 0..set.len() {
+            for m in 0..set.manifold().num_subspaces() {
+                let range = set.manifold().range(m);
+                assert_eq!(blocks.coords_of(m, i), &set.point(i)[range]);
+                assert_eq!(blocks.stored_weight(m, i), set.weight(i)[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_blocks_mirror_the_aos_buffers_through_every_reshape() {
+        let mut set = sample_set();
+        assert_blocks_consistent(&set);
+        let manifold = set.manifold().clone();
+        let mut extra = MixedPointSet::new(manifold.clone());
+        extra.push(40, &manifold.exp0(&[0.2, -0.1, 0.0, 0.3]), &[0.6, 0.4]);
+        set.append(&extra);
+        assert_blocks_consistent(&set);
+        set.retire(|id| id == 20);
+        assert_blocks_consistent(&set);
+        for part in set.partition_by(2, |id| (id as usize / 10) % 2) {
+            assert_blocks_consistent(&part);
+        }
+        assert_blocks_consistent(&set.filtered(|id| id != 10));
+        set.retire(|_| true);
+        assert_blocks_consistent(&set);
     }
 }

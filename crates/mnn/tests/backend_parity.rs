@@ -6,6 +6,7 @@
 use amcad_manifold::{ProductManifold, SubspaceSpec};
 use amcad_mnn::{
     recall_at_k, AnnIndex, ExactBackend, HnswConfig, IndexBackend, IvfConfig, MixedPointSet,
+    QuantConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -99,6 +100,49 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The quantised backend's saturation point: with `rerank_k` at the
+    /// corpus size every candidate survives the approximate table scan
+    /// into the exact rerank, so posting lists must be identical to the
+    /// exact backend's (same ids, same distances, bit for bit) for any
+    /// point set, key set and codebook size — with and without
+    /// self-exclusion.
+    #[test]
+    fn corpus_wide_rerank_quant_equals_exact(
+        seed in 0u64..1_000,
+        n_cands in 20usize..120,
+        n_keys in 5usize..25,
+        ksub in 2usize..32,
+        k in 1usize..8,
+        exclude_bit in 0u32..2,
+    ) {
+        let exclude = exclude_bit == 1;
+        let cands = random_set(n_cands, seed);
+        let keys = random_set(n_keys, seed.wrapping_add(1));
+
+        let exact = ExactBackend::new(cands.clone(), 1).build_index(&keys, k, exclude);
+        let quant = IndexBackend::Quant(QuantConfig {
+            ksub,
+            train_iters: 3,
+            rerank_k: n_cands, // the whole corpus reaches the exact rerank
+            seed: seed ^ 0x5150,
+        })
+        .instantiate(cands, 1)
+        .build_index(&keys, k, exclude);
+
+        prop_assert_eq!(exact.len(), quant.len());
+        for (key, exact_postings) in exact.iter() {
+            let quant_postings = quant.get(*key).expect("every key must be indexed");
+            prop_assert_eq!(
+                exact_postings, quant_postings,
+                "postings (ids and distances) must match for key {}", key
+            );
+        }
+    }
+}
+
 /// Partial probing on a well-seeded point set keeps recall@10 high: this
 /// is the quality bar that makes the IVF backend a usable serving option.
 #[test]
@@ -156,6 +200,90 @@ fn high_ef_hnsw_recall_at_10_is_at_least_0_8() {
         let id = set.id(i);
         let hits = backend.search(set.point(i), set.weight(i), 5, Some(id));
         assert!(hits.iter().all(|(c, _)| *c != id));
+    }
+}
+
+/// The quant quality bar on the same property corpus: the serving-default
+/// `rerank_k` (48 of 400 candidates survive the table scan) keeps
+/// recall@10 ≥ 0.8 against the exact index.
+#[test]
+fn serving_rerank_quant_recall_at_10_is_at_least_0_8() {
+    let cands = random_set(400, 42);
+    let keys = random_set(60, 43);
+    let k = 10;
+
+    let exact = ExactBackend::new(cands.clone(), 2).build_index(&keys, k, false);
+    let quant = IndexBackend::Quant(QuantConfig::default()) // rerank_k: 48
+        .instantiate(cands, 1)
+        .build_index(&keys, k, false);
+
+    let recall = recall_at_k(&quant, &exact, k);
+    assert!(
+        recall >= 0.8,
+        "quant rerank_k=48/400 should keep recall@10 >= 0.8, got {recall:.3}"
+    );
+    assert!(recall <= 1.0 + 1e-12);
+    // exclude_id is honoured through the trait path
+    let set = random_set(50, 45);
+    let backend = IndexBackend::Quant(QuantConfig::default()).instantiate(set.clone(), 1);
+    for i in 0..set.len() {
+        let id = set.id(i);
+        let hits = backend.search(set.point(i), set.weight(i), 5, Some(id));
+        assert!(hits.iter().all(|(c, _)| *c != id));
+    }
+}
+
+/// The quant incremental seam: once the codebooks are trained they are
+/// frozen, so *how* later points arrive — one at a time or in one batch —
+/// cannot change the index. A corpus-wide rerank then pins both streamed
+/// variants to the exact scan over the union.
+#[test]
+fn quant_insert_one_at_a_time_equals_batch_insert_and_exact() {
+    let union = random_set(120, 46);
+    let keys = random_set(25, 47);
+    let manifold = union.manifold().clone();
+    let split = 60;
+    let base = {
+        let mut b = MixedPointSet::new(manifold.clone());
+        for i in 0..split {
+            b.push(union.id(i), union.point(i), union.weight(i));
+        }
+        b
+    };
+    let config = QuantConfig {
+        ksub: 8,
+        train_iters: 4,
+        rerank_k: 120, // corpus-wide: streamed indices must stay exact
+        seed: 48,
+    };
+    let mut one_at_a_time = IndexBackend::Quant(config).instantiate(base.clone(), 1);
+    let mut batched = IndexBackend::Quant(config).instantiate(base, 1);
+    let mut batch = MixedPointSet::new(manifold.clone());
+    for i in split..union.len() {
+        let mut one = MixedPointSet::new(manifold.clone());
+        one.push(union.id(i), union.point(i), union.weight(i));
+        assert!(
+            one_at_a_time.insert(&one),
+            "quant must accept streaming inserts"
+        );
+        batch.push(union.id(i), union.point(i), union.weight(i));
+    }
+    assert!(batched.insert(&batch));
+    assert_eq!(one_at_a_time.len(), union.len());
+    assert_eq!(batched.len(), union.len());
+    let exact = ExactBackend::new(union, 1);
+    for i in 0..keys.len() {
+        let want = exact.search(keys.point(i), keys.weight(i), 10, None);
+        assert_eq!(
+            one_at_a_time.search(keys.point(i), keys.weight(i), 10, None),
+            want,
+            "one-at-a-time streamed quant must answer exactly (key {i})"
+        );
+        assert_eq!(
+            batched.search(keys.point(i), keys.weight(i), 10, None),
+            want,
+            "batch-streamed quant must answer exactly (key {i})"
+        );
     }
 }
 

@@ -974,6 +974,86 @@ mod tests {
         }
     }
 
+    /// The quant acceptance property, mirroring the HNSW one: at its
+    /// saturation point (corpus-wide `rerank_k`) every candidate reaches
+    /// the exact rerank, so a quant-backed deployment serves byte-
+    /// identically (logical view) through a single engine, sharded engines
+    /// at 1 / 2 / 4 shards, and a delta-published generation — even though
+    /// the delta path encodes new ads against *frozen* codebooks while a
+    /// from-scratch rebuild retrains them.
+    #[test]
+    fn corpus_wide_rerank_quant_serves_identically_single_sharded_and_delta_published() {
+        let inputs = tiny_inputs();
+        // 20 seed ads + 6 added: rerank well above the final corpus size
+        let backend = amcad_mnn::IndexBackend::Quant(amcad_mnn::QuantConfig {
+            ksub: 8,
+            train_iters: 4,
+            rerank_k: 64,
+            seed: 9,
+        });
+        let top_k = 6;
+        let exact = RetrievalEngine::builder()
+            .top_k(top_k)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        let single = RetrievalEngine::builder()
+            .backend(backend)
+            .top_k(top_k)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        let delta = make_delta(300..306, 55, vec![200, 207]);
+        let mut truth = inputs.clone();
+        delta.apply_to(&mut truth);
+        let requests: Vec<Request> = (0..12u32)
+            .map(|q| Request {
+                query: q % 10,
+                preclick_items: vec![100 + q, 110 + (q % 5)],
+            })
+            .collect();
+        for shards in [1usize, 2, 4] {
+            let topology = || {
+                ShardedEngine::builder()
+                    .shards(shards)
+                    .backend(backend)
+                    .top_k(top_k)
+                    .threads(1)
+                    .build_threads(1)
+            };
+            let sharded = topology().build(&inputs).unwrap();
+            let mut builder = ShardedDeltaBuilder::new(&inputs, topology()).unwrap();
+            let published = builder.apply(&delta).unwrap();
+            // post-delta ground truths, exact and quant
+            let exact_post = RetrievalEngine::builder()
+                .top_k(top_k)
+                .threads(1)
+                .build(&truth)
+                .unwrap();
+            let quant_post = RetrievalEngine::builder()
+                .backend(backend)
+                .top_k(top_k)
+                .threads(1)
+                .build(&truth)
+                .unwrap();
+            for request in &requests {
+                // pre-delta: single == sharded == exact
+                let want = logical(exact.retrieve(request));
+                assert_eq!(logical(single.retrieve(request)), want, "{shards} shards");
+                assert_eq!(logical(sharded.retrieve(request)), want, "{shards} shards");
+                // post-delta: the delta-published quant generation equals
+                // both from-scratch rebuilds
+                let want_post = logical(exact_post.retrieve(request));
+                assert_eq!(
+                    logical(published.retrieve(request)),
+                    want_post,
+                    "{shards} shards: delta-published quant diverged from exact"
+                );
+                assert_eq!(logical(quant_post.retrieve(request)), want_post);
+            }
+        }
+    }
+
     #[test]
     fn delta_validation_rejects_duplicates_unknowns_and_mismatched_spaces() {
         let inputs = tiny_inputs();

@@ -319,6 +319,62 @@ mod tests {
     }
 
     #[test]
+    fn quant_backend_builds_all_six_indices_and_corpus_wide_rerank_matches_exact() {
+        use amcad_mnn::QuantConfig;
+        let inputs = tiny_inputs();
+        let exact = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let quant = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                backend: IndexBackend::Quant(QuantConfig {
+                    ksub: 8,
+                    train_iters: 4,
+                    // rerank beyond the largest candidate set (40 items):
+                    // every posting list must match the exact scan
+                    rerank_k: 64,
+                    seed: 7,
+                }),
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.total_keys(), quant.total_keys());
+        for (key, postings) in exact.q2a.iter() {
+            assert_eq!(quant.q2a.get(*key), Some(postings));
+        }
+        for (key, postings) in exact.i2i.iter() {
+            assert_eq!(quant.i2i.get(*key), Some(postings));
+        }
+        assert!((quant.ad_recall_against(&exact, 5) - 1.0).abs() < 1e-12);
+        // a partial rerank is a genuine approximation but stays usable
+        let partial = IndexSet::build(
+            &inputs,
+            IndexBuildConfig {
+                top_k: 5,
+                threads: 1,
+                backend: IndexBackend::Quant(QuantConfig {
+                    ksub: 8,
+                    train_iters: 4,
+                    rerank_k: 12,
+                    seed: 3,
+                }),
+            },
+        )
+        .unwrap();
+        let recall = partial.ad_recall_against(&exact, 5);
+        assert!((0.0..=1.0 + 1e-12).contains(&recall));
+    }
+
+    #[test]
     fn duplicate_ids_in_any_input_space_are_rejected_with_a_typed_error() {
         // a duplicate ad id would corrupt postings merges (and delta
         // merges): the build must fail fast, naming the space and the id

@@ -53,7 +53,8 @@
 //!
 //! Below the triad sit the building blocks: [`IndexSet`] (the six
 //! inverted indices Q2Q, Q2I, I2Q, I2I, Q2A, I2A built offline with any
-//! [`amcad_mnn::AnnIndex`] backend — exact scan, IVF or HNSW; duplicate
+//! [`amcad_mnn::AnnIndex`] backend — exact scan, IVF, HNSW or quantised
+//! postings; duplicate
 //! input ids are rejected with the typed
 //! [`RetrievalError::DuplicateId`]), [`TwoLayerRetriever`] (the bare
 //! layer logic), and [`ServingSimulator`] (an open-loop load generator

@@ -1589,6 +1589,43 @@ mod tests {
     }
 
     #[test]
+    fn corpus_wide_rerank_quant_sharding_matches_the_single_quant_engine() {
+        let inputs = tiny_inputs();
+        let backend = IndexBackend::Quant(amcad_mnn::QuantConfig {
+            ksub: 8,
+            train_iters: 4,
+            rerank_k: 64, // corpus-wide: quantisation cannot hide candidates
+            seed: 11,
+        });
+        let single = RetrievalEngine::builder()
+            .backend(backend)
+            .top_k(8)
+            .threads(1)
+            .build(&inputs)
+            .unwrap();
+        for shards in [1usize, 2, 4] {
+            let sharded = ShardedEngine::builder()
+                .shards(shards)
+                .backend(backend)
+                .top_k(8)
+                .threads(1)
+                .build(&inputs)
+                .unwrap();
+            for q in 0..10u32 {
+                let request = Request {
+                    query: q,
+                    preclick_items: vec![100 + q],
+                };
+                assert_eq!(
+                    logical(single.retrieve(&request)),
+                    logical(sharded.retrieve(&request)),
+                    "{shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unknown_query_yields_the_single_engines_exact_no_coverage_error() {
         let inputs = tiny_inputs();
         let single = single_engine(&inputs, 8);

@@ -34,9 +34,10 @@
 //! before the constructors that `assert!` those invariants ever run.
 
 use amcad_manifold::{ProductManifold, SubspaceSpec};
+use amcad_mnn::quant::codebook::MAX_SUB_CENTROIDS;
 use amcad_mnn::{
     AnnBackendState, HnswConfig, HnswState, IndexBackend, InvertedIndex, IvfConfig, IvfState,
-    MixedPointSet, Postings,
+    MixedPointSet, Postings, QuantConfig, QuantState,
 };
 
 use crate::error::RetrievalError;
@@ -406,6 +407,7 @@ pub(crate) fn decode_index(dec: &mut Decoder<'_>) -> Result<InvertedIndex, Retri
 const BACKEND_EXACT: u8 = 0;
 const BACKEND_IVF: u8 = 1;
 const BACKEND_HNSW: u8 = 2;
+const BACKEND_QUANT: u8 = 3;
 
 fn encode_ivf_config(enc: &mut Encoder, config: &IvfConfig) {
     enc.usize(config.num_clusters);
@@ -439,6 +441,22 @@ fn decode_hnsw_config(dec: &mut Decoder<'_>) -> Result<HnswConfig, RetrievalErro
     })
 }
 
+fn encode_quant_config(enc: &mut Encoder, config: &QuantConfig) {
+    enc.usize(config.ksub);
+    enc.usize(config.train_iters);
+    enc.usize(config.rerank_k);
+    enc.u64(config.seed);
+}
+
+fn decode_quant_config(dec: &mut Decoder<'_>) -> Result<QuantConfig, RetrievalError> {
+    Ok(QuantConfig {
+        ksub: dec.usize_capped(u32::MAX as usize, "quant ksub")?,
+        train_iters: dec.usize_capped(u32::MAX as usize, "quant train_iters")?,
+        rerank_k: dec.usize_capped(u32::MAX as usize, "quant rerank_k")?,
+        seed: dec.u64("quant seed")?,
+    })
+}
+
 pub(crate) fn encode_index_backend(enc: &mut Encoder, backend: &IndexBackend) {
     match backend {
         IndexBackend::Exact => enc.u8(BACKEND_EXACT),
@@ -450,6 +468,10 @@ pub(crate) fn encode_index_backend(enc: &mut Encoder, backend: &IndexBackend) {
             enc.u8(BACKEND_HNSW);
             encode_hnsw_config(enc, config);
         }
+        IndexBackend::Quant(config) => {
+            enc.u8(BACKEND_QUANT);
+            encode_quant_config(enc, config);
+        }
     }
 }
 
@@ -458,6 +480,7 @@ pub(crate) fn decode_index_backend(dec: &mut Decoder<'_>) -> Result<IndexBackend
         BACKEND_EXACT => Ok(IndexBackend::Exact),
         BACKEND_IVF => Ok(IndexBackend::Ivf(decode_ivf_config(dec)?)),
         BACKEND_HNSW => Ok(IndexBackend::Hnsw(decode_hnsw_config(dec)?)),
+        BACKEND_QUANT => Ok(IndexBackend::Quant(decode_quant_config(dec)?)),
         tag => Err(corrupt(format!("unknown backend tag {tag}"))),
     }
 }
@@ -570,6 +593,28 @@ pub(crate) fn encode_backend_state(enc: &mut Encoder, state: &AnnBackendState) {
                     for &neighbour in layer {
                         enc.u32(neighbour);
                     }
+                }
+            }
+        }
+        AnnBackendState::Quant(state) => {
+            enc.u8(BACKEND_QUANT);
+            encode_quant_config(enc, &state.config);
+            encode_point_set(enc, &state.candidates);
+            // one codebook + one code lane per manifold component, so the
+            // component count is implied by the manifold; each codebook
+            // carries its own centroid count (its tangent dimension is the
+            // component's), and each code lane holds exactly one byte per
+            // candidate
+            let specs = state.candidates.manifold().subspaces();
+            for (flat, spec) in state.codebooks.iter().zip(specs) {
+                enc.usize(flat.len() / spec.dim);
+                for &x in flat {
+                    enc.f64(x);
+                }
+            }
+            for lane in &state.codes {
+                for &code in lane {
+                    enc.u8(code);
                 }
             }
         }
@@ -687,6 +732,46 @@ pub(crate) fn decode_backend_state(
                 links,
             }))
         }
+        BACKEND_QUANT => {
+            let config = decode_quant_config(dec)?;
+            let candidates = decode_point_set(dec)?;
+            let n = candidates.len();
+            let subspaces: Vec<_> = candidates.manifold().subspaces().to_vec();
+            let mut codebooks = Vec::with_capacity(subspaces.len());
+            for spec in &subspaces {
+                // codes are one byte, so a codebook beyond 256 centroids
+                // could never have been written by the encoder — reject it
+                // here instead of letting `Codebook::from_parts` assert
+                let k = dec.count(spec.dim * 8, "quant codebook centroid count")?;
+                if k > MAX_SUB_CENTROIDS {
+                    return Err(corrupt(format!(
+                        "quant codebook claims {k} sub-centroids, above the one-byte cap {MAX_SUB_CENTROIDS}"
+                    )));
+                }
+                let mut flat = vec![0.0f64; k * spec.dim];
+                for x in flat.iter_mut() {
+                    *x = dec.f64("quant centroid coordinate")?;
+                }
+                codebooks.push(flat);
+            }
+            let mut codes = Vec::with_capacity(subspaces.len());
+            for (m, (spec, flat)) in subspaces.iter().zip(&codebooks).enumerate() {
+                let ksub = flat.len() / spec.dim.max(1);
+                let lane = dec.take(n, "quant code lane")?;
+                if let Some(&bad) = lane.iter().find(|&&c| c as usize >= ksub) {
+                    return Err(corrupt(format!(
+                        "quant code {bad} in component {m} names no stored sub-centroid ({ksub} exist)"
+                    )));
+                }
+                codes.push(lane.to_vec());
+            }
+            Ok(AnnBackendState::Quant(QuantState {
+                candidates,
+                config,
+                codebooks,
+                codes,
+            }))
+        }
         tag => Err(corrupt(format!("unknown backend-state tag {tag}"))),
     }
 }
@@ -695,6 +780,7 @@ pub(crate) fn decode_backend_state(
 mod tests {
     use super::*;
     use crate::test_fixtures::random_points;
+    use amcad_mnn::{AnnIndex, QuantBackend};
 
     #[test]
     fn the_envelope_round_trips_and_localises_damage() {
@@ -789,6 +875,12 @@ mod tests {
                 ef_search: 13,
                 seed: 0xabc,
             }),
+            IndexBackend::Quant(QuantConfig {
+                ksub: 32,
+                train_iters: 6,
+                rerank_k: 64,
+                seed: 0xdef,
+            }),
         ];
         for backend in backends {
             let config = IndexBuildConfig {
@@ -838,5 +930,78 @@ mod tests {
         let mut dec = Decoder::new(&bytes);
         let err = decode_backend_state(&mut dec).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn quant_state_round_trips_and_reencodes_byte_identically() {
+        let backend = QuantBackend::new(random_points(0..40, 21), QuantConfig::default());
+        let state = backend.export_state();
+        let mut enc = Encoder::new();
+        encode_backend_state(&mut enc, &state);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = decode_backend_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        // decoded state re-encodes to the exact same bytes: codebooks and
+        // code lanes survived bit-for-bit, not approximately
+        let mut enc2 = Encoder::new();
+        encode_backend_state(&mut enc2, &back);
+        assert_eq!(enc2.into_bytes(), bytes);
+        // and the revived backend searches identically to the live one
+        let revived = back.instantiate();
+        let keys = random_points(100..106, 22);
+        for i in 0..keys.len() {
+            assert_eq!(
+                revived.search(keys.point(i), keys.weight(i), 4, None),
+                backend.search(keys.point(i), keys.weight(i), 4, None),
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_quant_bytes_are_typed_corruption_never_panics() {
+        let backend = QuantBackend::new(random_points(0..24, 23), QuantConfig::default());
+        let mut enc = Encoder::new();
+        encode_backend_state(&mut enc, &backend.export_state());
+        let good = enc.into_bytes();
+
+        // truncation at every byte boundary: typed corruption, no panic,
+        // no unbounded allocation
+        for cut in 0..good.len() {
+            let mut dec = Decoder::new(&good[..cut]);
+            let outcome = decode_backend_state(&mut dec).and_then(|_| dec.finish());
+            assert!(
+                matches!(outcome, Err(RetrievalError::SnapshotCorrupt { .. })),
+                "cut at {cut} must be typed corruption"
+            );
+        }
+
+        // the trailing bytes are the code lanes: an out-of-range code must
+        // be rejected before `QuantIndex::from_state` could assert on it
+        let mut bad_code = good.clone();
+        let last = bad_code.len() - 1;
+        bad_code[last] = u8::MAX;
+        let mut dec = Decoder::new(&bad_code);
+        let err = decode_backend_state(&mut dec).unwrap_err();
+        assert!(
+            err.to_string().contains("names no stored sub-centroid"),
+            "{err}"
+        );
+
+        // an oversized codebook centroid count (beyond the one-byte code
+        // space) is rejected even when enough payload bytes follow
+        let mut dec = Decoder::new(&good[1..]); // past the backend tag
+        decode_quant_config(&mut dec).unwrap();
+        decode_point_set(&mut dec).unwrap();
+        // absolute offset of the first codebook's centroid count
+        let count_at = good.len() - dec.remaining();
+        let mut oversized = good.clone();
+        // pad the payload so the claimed count survives the bytes-remaining
+        // check and reaches the explicit one-byte-code cap instead
+        oversized.resize(oversized.len() + (1 << 16), 0u8);
+        oversized[count_at..count_at + 8].copy_from_slice(&1000u64.to_le_bytes());
+        let mut dec = Decoder::new(&oversized);
+        let err = decode_backend_state(&mut dec).unwrap_err();
+        assert!(err.to_string().contains("one-byte cap"), "{err}");
     }
 }

@@ -44,7 +44,7 @@
 //!
 //! The restarted process is **byte-identical** to one that never
 //! restarted: rankings, logical stats and generation numbers alike,
-//! property-tested across all three ANN backends and shard counts
+//! property-tested across all four ANN backends and shard counts
 //! 1 / 2 / 4 in this module's test suite. Corrupt files — truncated,
 //! bit-flipped, wrong magic — surface as the typed
 //! [`crate::RetrievalError::SnapshotCorrupt`] /
@@ -68,7 +68,7 @@ mod tests {
     use std::path::PathBuf;
     use std::sync::Arc;
 
-    use amcad_mnn::{AnnIndex, HnswBackend, HnswConfig, IndexBackend, IvfConfig};
+    use amcad_mnn::{AnnIndex, HnswBackend, HnswConfig, IndexBackend, IvfConfig, QuantConfig};
 
     use super::*;
     use crate::engine::{Request, RetrievalResponse};
@@ -101,11 +101,11 @@ mod tests {
         }
     }
 
-    /// The three backends, deliberately *not* at their exact-equivalent
+    /// All four backends, deliberately *not* at their exact-equivalent
     /// saturation points: restart parity must hold for genuinely
     /// approximate configurations too, because the restarted process
     /// re-runs the same deterministic computation on the same state.
-    fn backends() -> [IndexBackend; 3] {
+    fn backends() -> [IndexBackend; 4] {
         [
             IndexBackend::Exact,
             IndexBackend::Ivf(IvfConfig {
@@ -119,6 +119,12 @@ mod tests {
                 ef_construction: 12,
                 ef_search: 8,
                 seed: 3,
+            }),
+            IndexBackend::Quant(QuantConfig {
+                ksub: 8,
+                train_iters: 4,
+                rerank_k: 10,
+                seed: 5,
             }),
         ]
     }
@@ -397,5 +403,30 @@ mod tests {
             EngineHandle::load(file.path()).unwrap_err(),
             RetrievalError::SnapshotCorrupt { .. }
         ));
+
+        // the quant case: codebooks and code lanes travel with the file,
+        // so post-reload inserts encode against the same frozen codebooks
+        let quant_file = TmpFile::new("quant-backend-state");
+        let mut quant_live = amcad_mnn::QuantBackend::new(
+            base,
+            QuantConfig {
+                ksub: 8,
+                train_iters: 4,
+                rerank_k: 12, // partial rerank: the lanes themselves must match
+                seed: 31,
+            },
+        );
+        save_backend_state(quant_file.path(), &quant_live.export_state()).unwrap();
+        let mut quant_revived = load_backend_state(quant_file.path()).unwrap().instantiate();
+        let growth = random_points(30..42, 13);
+        assert!(quant_revived.insert(&growth));
+        assert!(quant_live.insert(&growth));
+        for i in 0..keys.len() {
+            assert_eq!(
+                quant_revived.search(keys.point(i), keys.weight(i), 5, None),
+                quant_live.search(keys.point(i), keys.weight(i), 5, None),
+                "post-reload quant insert diverged at key {i}"
+            );
+        }
     }
 }
